@@ -1,0 +1,92 @@
+// Ablations for the design choices DESIGN.md calls out:
+//
+//   (a) the Section 3.1 stopping threshold alpha * f(W) — sweep it and
+//       watch the tradeoff between separator weight (root cost) and piece
+//       coarseness (per-piece cost), the exact tradeoff Lemma 6 balances;
+//   (b) Theorem 1's OPT-guess ladder resolution;
+//   (c) the FM polish pass on Theorem 1's output.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bisection.hpp"
+#include "cuttree/quality.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void threshold_sweep() {
+  ht::bench::print_header(
+      "ablation (a): Section 3.1 stopping threshold",
+      "Lemma 6 balances root weight (grows with threshold) against piece "
+      "cost (shrinks); quality is U-shaped");
+  ht::Table table({"threshold", "pieces", "w(S)", "quality(max)",
+                   "quality(mean)"});
+  const std::int32_t n = 96;
+  ht::Rng rng(1);
+  const auto g = ht::graph::gnp_connected(n, 4.0 / n, rng);
+  auto pairs = ht::cuttree::random_set_pairs(n, 60, 8, rng);
+  for (double threshold : {0.01, 0.05, 0.1, 0.2, 0.3, 0.45}) {
+    ht::cuttree::VertexCutTreeOptions options;
+    options.threshold_override = threshold;
+    const auto built = ht::cuttree::build_vertex_cut_tree(g, options);
+    const auto q = ht::cuttree::vertex_cut_tree_quality(g, built.tree, pairs);
+    table.add(threshold, built.num_pieces, built.separator_weight,
+              q.max_ratio, q.mean_ratio);
+  }
+  // Default (the Lemma 6 balance point).
+  const auto built = ht::cuttree::build_vertex_cut_tree(g);
+  const auto q = ht::cuttree::vertex_cut_tree_quality(g, built.tree, pairs);
+  table.add(built.threshold, built.num_pieces, built.separator_weight,
+            q.max_ratio, q.mean_ratio);
+  ht::bench::print_table(table);
+}
+
+void guess_ladder() {
+  ht::bench::print_header(
+      "ablation (b): Theorem 1 OPT-guess ladder resolution",
+      "more guesses: better threshold calibration, more work");
+  ht::Table table({"guesses", "cut", "winning guess", "pieces"});
+  ht::Rng rng(2);
+  const auto h = ht::hypergraph::planted_bisection(32, 3, 128, 6, rng);
+  for (std::int32_t guesses : {2, 4, 8, 16}) {
+    ht::core::Theorem1Options options;
+    options.guesses = guesses;
+    options.fm_polish = false;
+    const auto r = ht::core::bisect_theorem1(h, options);
+    table.add(guesses, r.solution.cut, r.opt_guess, r.phase1_pieces);
+  }
+  ht::bench::print_table(table);
+}
+
+void polish_ablation() {
+  ht::bench::print_header("ablation (c): FM polish on Theorem 1's output",
+                          "polish can only improve; gap shows rounding slack");
+  ht::Table table({"instance", "thm1 raw", "thm1 + polish"});
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    ht::Rng rng(seed);
+    const auto h = ht::hypergraph::random_uniform(48, 96, 4, rng);
+    ht::core::Theorem1Options raw;
+    raw.seed = seed;
+    raw.fm_polish = false;
+    ht::core::Theorem1Options polished;
+    polished.seed = seed;
+    const auto r1 = ht::core::bisect_theorem1(h, raw);
+    const auto r2 = ht::core::bisect_theorem1(h, polished);
+    table.add("random r=4 seed=" + std::to_string(seed), r1.solution.cut,
+              r2.solution.cut);
+  }
+  ht::bench::print_table(table);
+}
+
+}  // namespace
+
+int main() {
+  threshold_sweep();
+  guess_ladder();
+  polish_ablation();
+  return 0;
+}

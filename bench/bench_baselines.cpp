@@ -1,0 +1,81 @@
+// Experiment BASE: practitioner workloads from the paper's introduction.
+//
+// Hypergraph partitioning is motivated by parallel scientific computing
+// (SpMV row-net models) and VLSI netlists. This bench runs every bisection
+// pipeline on both workload families — the context for the paper's novelty
+// claim that theory-backed algorithms compete with the heuristics
+// practitioners actually use.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bisection.hpp"
+#include "hypergraph/generators.hpp"
+#include "partition/multilevel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+void run_family(const std::string& family,
+                const ht::hypergraph::Hypergraph& h) {
+  ht::Table table({"algorithm", "cut", "time(s)"});
+  {
+    ht::Timer t;
+    const auto r = ht::core::bisect_theorem1(h);
+    table.add(r.algorithm, r.solution.cut, t.seconds());
+  }
+  {
+    ht::Timer t;
+    const auto r = ht::core::bisect_small_edges(h);
+    table.add(r.algorithm, r.solution.cut, t.seconds());
+  }
+  {
+    ht::Timer t;
+    const auto r = ht::core::bisect_via_cut_tree(h);
+    table.add(r.algorithm, r.solution.cut, t.seconds());
+  }
+  {
+    ht::Timer t;
+    ht::Rng rng(7);
+    const auto r = ht::core::bisect_fm_baseline(h, rng);
+    table.add(r.algorithm, r.solution.cut, t.seconds());
+  }
+  {
+    ht::Timer t;
+    ht::Rng rng(9);
+    const auto sol = ht::partition::multilevel_bisection(h, rng);
+    table.add("multilevel (hMetis-style)", sol.cut, t.seconds());
+  }
+  {
+    ht::Timer t;
+    ht::Rng rng(8);
+    const auto r = ht::core::bisect_random_baseline(h, rng);
+    table.add(r.algorithm, r.solution.cut, t.seconds());
+  }
+  std::cout << family << " (n=" << h.num_vertices() << ", m=" << h.num_edges()
+            << ", hmax=" << h.max_edge_size() << "):\n";
+  ht::bench::print_table(table);
+}
+
+}  // namespace
+
+int main() {
+  ht::bench::print_header(
+      "BASE: workloads from the paper's motivation",
+      "theory algorithms vs the FM heuristic practitioners use");
+  {
+    ht::Rng rng(1);
+    run_family("VLSI netlist", ht::hypergraph::netlist_like(128, 220, 3, rng));
+  }
+  {
+    ht::Rng rng(2);
+    run_family("SpMV row-net",
+               ht::hypergraph::spmv_row_net(128, 128, 6, 0.01, rng));
+  }
+  {
+    ht::Rng rng(3);
+    run_family("planted communities",
+               ht::hypergraph::planted_bisection(64, 3, 256, 8, rng));
+  }
+  return 0;
+}

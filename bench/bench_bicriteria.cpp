@@ -1,0 +1,94 @@
+// Experiment: the paper's central dichotomy, measured.
+//
+// Bi-criteria bisection (smaller side >= n/3) is EASY for hypergraphs —
+// graph techniques transfer with (O(1), sqrt(log n)) quality — while true
+// bisection is n^{1/4-eps}-hard (Corollary 1). This bench makes the gap
+// visible: on instances engineered so that exact balance forces expensive
+// cuts (the Theorem 3 construction and skew-community instances), the
+// relaxed partition is dramatically cheaper than the best balanced one.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bicriteria.hpp"
+#include "core/bisection.hpp"
+#include "hypergraph/generators.hpp"
+#include "partition/mku.hpp"
+#include "reduction/mku_bisection.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+/// Skew communities: one community of 2n/3 and one of n/3, densely knit,
+/// with few cross edges. Exact bisection must SPLIT the big community;
+/// a bi-criteria partition just separates the communities.
+ht::hypergraph::Hypergraph skew_instance(std::int32_t n, ht::Rng& rng) {
+  ht::hypergraph::Hypergraph h(n);
+  const std::int32_t big = 2 * n / 3;
+  auto add_community = [&](std::int32_t lo, std::int32_t hi, std::int32_t m) {
+    const std::int32_t size = hi - lo;
+    for (std::int32_t e = 0; e < m; ++e) {
+      auto local = rng.sample_without_replacement(size, 3);
+      std::vector<ht::hypergraph::VertexId> pins;
+      for (auto idx : local) pins.push_back(lo + idx);
+      h.add_edge(std::move(pins));
+    }
+  };
+  add_community(0, big, 6 * n);
+  add_community(big, n, 3 * n);
+  for (std::int32_t e = 0; e < 3; ++e)
+    h.add_edge({static_cast<ht::hypergraph::VertexId>(e),
+                static_cast<ht::hypergraph::VertexId>(big + e)});
+  h.finalize();
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  ht::bench::print_header(
+      "bi-criteria vs true bisection — the paper's dichotomy",
+      "bi-criteria transfers from graphs at polylog quality; true bisection "
+      "is n^{1/4-eps}-hard [Cor. 1]");
+
+  ht::Table table({"instance", "n", "true bisection", "bi-criteria (1/3)",
+                   "balance", "gap (true/relaxed)"});
+  for (std::int32_t n : {24, 48, 96, 192}) {
+    ht::Rng rng(static_cast<std::uint64_t>(n));
+    const auto h = skew_instance(n, rng);
+    const auto balanced = ht::core::bisect_theorem1(h);
+    ht::core::BicriteriaOptions options;
+    options.seed = static_cast<std::uint64_t>(n) + 5;
+    const auto relaxed = ht::core::bisect_bicriteria(h, options);
+    table.add("skew 2:1 communities", n, balanced.solution.cut, relaxed.cut,
+              relaxed.balance,
+              relaxed.cut > 0 ? balanced.solution.cut / relaxed.cut : 0.0);
+  }
+  // Theorem 3 instances: balance is exactly what encodes MkU hardness.
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    ht::Rng rng(seed);
+    ht::hypergraph::Hypergraph base(20);
+    for (int e = 0; e < 14; ++e) {
+      auto pins = rng.sample_without_replacement(20, 4);
+      base.add_edge({pins.begin(), pins.end()});
+    }
+    base.finalize();
+    ht::reduction::MkuInstance inst{base, 4};
+    const auto red = ht::reduction::mku_to_bisection(inst);
+    const auto balanced = ht::core::bisect_theorem1(red.bisection_instance);
+    ht::core::BicriteriaOptions options;
+    options.seed = seed;
+    const auto relaxed =
+        ht::core::bisect_bicriteria(red.bisection_instance, options);
+    table.add("Theorem 3 reduction", red.bisection_instance.num_vertices(),
+              balanced.solution.cut, relaxed.cut, relaxed.balance,
+              relaxed.cut > 0 ? balanced.solution.cut / relaxed.cut : 1e300);
+  }
+  ht::bench::print_table(table);
+  std::cout << "reading: the relaxed column collapses (often to ~the cross "
+               "edges, or 0 on reductions where one\nside may stay small) "
+               "while the balanced column pays to split dense structure — "
+               "the hardness lives\nentirely in the exact-balance "
+               "constraint.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Experiment THM2: hyperedge-size regimes of Theorem 2.
+//
+//   all hyperedges <= O(n^a) : ~O(n^a)    via Lemma 1 + graph bisection
+//   all hyperedges >= Om(n^a): ~O(n^{1-a}) via k = min edge size
+//
+// We sweep the uniform hyperedge size r = n^a and run all three pipelines;
+// the small-edge path should win for small r, the large-edge path for
+// large r, with the crossover near r ~ sqrt(n) where the paper's upper
+// bounds meet (the worst case hyperedge size the abstract highlights).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bisection.hpp"
+#include "hypergraph/generators.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  ht::bench::print_header(
+      "THM2: regimes by hyperedge size r = n^a (n = 64)",
+      "small-edge path ~O(n^a), large-edge path ~O(n^{1-a}); crossover at "
+      "r ~ sqrt(n)");
+
+  const std::int32_t n = 64;
+  ht::Table table({"r", "a=log_n(r)", "thm1", "small-edge", "large-edge",
+                   "fm", "random"});
+  for (std::int32_t r : {2, 4, 8, 16, 32}) {
+    ht::Rng rng(31 + static_cast<std::uint64_t>(r));
+    const auto h = ht::hypergraph::random_uniform(n, 2 * n, r, rng);
+    const auto t1 = ht::core::bisect_theorem1(h);
+    const auto small = ht::core::bisect_small_edges(h);
+    const auto large = ht::core::bisect_large_edges(h);
+    ht::Rng brng(r);
+    const auto fm = ht::core::bisect_fm_baseline(h, brng);
+    const auto rnd = ht::core::bisect_random_baseline(h, brng);
+    table.add(r, std::log(static_cast<double>(r)) / std::log(64.0),
+              t1.solution.cut, small.solution.cut, large.solution.cut,
+              fm.solution.cut, rnd.solution.cut);
+  }
+  ht::bench::print_table(table);
+
+  // Quasi-uniform instances (Lemma 4's regime): degree Theta(n^alpha).
+  ht::Table table2({"alpha", "davg", "thm1", "small-edge", "fm"});
+  for (double alpha : {0.3, 0.5, 0.7}) {
+    ht::Rng rng(77 + static_cast<std::uint64_t>(alpha * 100));
+    const auto h = ht::hypergraph::quasi_uniform(n, alpha, 3, rng);
+    const auto t1 = ht::core::bisect_theorem1(h);
+    const auto small = ht::core::bisect_small_edges(h);
+    ht::Rng brng(static_cast<std::uint64_t>(alpha * 1000));
+    const auto fm = ht::core::bisect_fm_baseline(h, brng);
+    table2.add(alpha, h.avg_degree(), t1.solution.cut, small.solution.cut,
+               fm.solution.cut);
+  }
+  std::cout << "quasi-uniform instances (degree ~ n^alpha):\n";
+  ht::bench::print_table(table2);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench prints aligned tables via ht::Table; a final "shape" line
+// reports the empirical log-log growth exponent so EXPERIMENTS.md can
+// compare it with the paper's bound directly.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ht::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::cout << "\n==== " << experiment << " ====\n"
+            << "paper claim: " << claim << "\n\n";
+}
+
+inline void print_table(const ht::Table& table) {
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+/// Prints the measured growth exponent alongside the claimed one.
+inline void print_shape(const std::string& series,
+                        const std::vector<double>& x,
+                        const std::vector<double>& y,
+                        const std::string& claimed) {
+  if (x.size() >= 2) {
+    std::cout << "shape[" << series
+              << "]: measured exponent = " << ht::log_log_slope(x, y)
+              << "  (paper: " << claimed << ")\n";
+  }
+}
+
+}  // namespace ht::bench

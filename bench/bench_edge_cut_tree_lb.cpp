@@ -1,0 +1,95 @@
+// Experiment T6: Theorem 6 — edge cut trees cannot represent hypergraph
+// cuts: on the single-spanning-hyperedge instance, every edge cut tree has
+// quality Omega(n).
+//
+// We evaluate every natural tree topology a practitioner would reach for
+// (star, spectral path, balanced binary, random, Gomory–Hu of the clique
+// expansion), each with the domination-correct induced edge weights, and
+// report its measured quality. All of them should scale linearly with n —
+// that is the theorem's content.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cuttree/edge_cut_trees.hpp"
+#include "cuttree/quality.hpp"
+#include "hypergraph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ht::cuttree::Tree;
+using ht::cuttree::VertexPair;
+
+std::vector<VertexPair> bipartition_pairs(std::int32_t n, ht::Rng& rng) {
+  std::vector<VertexPair> pairs;
+  // Balanced random bipartitions + alternating pattern + small sets.
+  for (int rep = 0; rep < 8; ++rep) {
+    auto pick = rng.sample_without_replacement(n, n / 2);
+    std::vector<bool> chosen(static_cast<std::size_t>(n), false);
+    for (auto v : pick) chosen[static_cast<std::size_t>(v)] = true;
+    VertexPair p;
+    for (std::int32_t v = 0; v < n; ++v)
+      (chosen[static_cast<std::size_t>(v)] ? p.first : p.second).push_back(v);
+    pairs.push_back(std::move(p));
+  }
+  VertexPair alternating;
+  for (std::int32_t v = 0; v < n; ++v)
+    (v % 2 == 0 ? alternating.first : alternating.second).push_back(v);
+  pairs.push_back(std::move(alternating));
+  for (std::int32_t size : {1, 2, n / 4}) {
+    if (size < 1 || size >= n) continue;
+    VertexPair p;
+    for (std::int32_t v = 0; v < n; ++v)
+      (v < size ? p.first : p.second).push_back(v);
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+int main() {
+  ht::bench::print_header(
+      "T6: edge cut trees vs the single-spanning-hyperedge instance",
+      "every edge cut tree has quality Omega(n)   [Theorem 6]");
+
+  ht::Table table({"n", "star", "path", "binary", "random", "gomory-hu",
+                   "best/n"});
+  std::vector<double> xs, ys;
+  for (std::int32_t n : {8, 16, 32, 64, 128}) {
+    ht::Rng rng(17 + static_cast<std::uint64_t>(n));
+    const auto h = ht::hypergraph::single_spanning_edge(n);
+    auto pairs = bipartition_pairs(n, rng);
+
+    std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+    for (std::int32_t v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+
+    std::vector<std::pair<std::string, Tree>> trees;
+    trees.emplace_back("star", ht::cuttree::star_topology(n));
+    trees.emplace_back("path", ht::cuttree::path_topology(order));
+    trees.emplace_back("binary", ht::cuttree::balanced_binary_topology(order));
+    trees.emplace_back("random", ht::cuttree::random_topology(n, rng));
+    trees.emplace_back("gomory-hu", ht::cuttree::gomory_hu_topology(h));
+
+    std::vector<std::string> row{std::to_string(n)};
+    double best = 1e300;
+    for (auto& [name, tree] : trees) {
+      ht::cuttree::assign_induced_weights(h, tree);
+      const auto q = ht::cuttree::edge_cut_tree_quality(h, tree, pairs);
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3g", q.quality);
+      row.push_back(buf);
+      best = std::min(best, q.quality);
+    }
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.3g", best / n);
+    row.push_back(ratio);
+    table.add_row(std::move(row));
+    xs.push_back(n);
+    ys.push_back(best);
+  }
+  ht::bench::print_table(table);
+  ht::bench::print_shape("best-topology", xs, ys, ">= 1 (linear in n)");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Extension experiment: k-way partitioning built on the paper's
+// primitives — recursive bisection vs unbalanced-k-cut peeling
+// (Section 2.1's subroutine) vs random, on planted multi-community and
+// netlist workloads. Objectives: plain cut and connectivity (lambda - 1).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hypergraph/generators.hpp"
+#include "partition/kway.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+void run_instance(const std::string& name,
+                  const ht::hypergraph::Hypergraph& h, std::int32_t k,
+                  double planted_connectivity) {
+  ht::Table table({"method", "cut", "connectivity", "time(s)"});
+  {
+    ht::Timer t;
+    ht::Rng rng(1);
+    const auto sol = ht::partition::kway_recursive_bisection(h, k, rng);
+    table.add("recursive bisection", sol.cut, sol.connectivity, t.seconds());
+  }
+  {
+    ht::Timer t;
+    ht::Rng rng(2);
+    const auto sol = ht::partition::kway_peel(h, k, rng);
+    table.add("peel (unbalanced k-cut)", sol.cut, sol.connectivity,
+              t.seconds());
+  }
+  {
+    ht::Timer t;
+    ht::Rng rng(3);
+    const auto sol = ht::partition::kway_random(h, k, rng);
+    table.add("random", sol.cut, sol.connectivity, t.seconds());
+  }
+  std::cout << name << " (n=" << h.num_vertices() << ", m=" << h.num_edges()
+            << ", k=" << k << ", planted connectivity <= "
+            << planted_connectivity << "):\n";
+  ht::bench::print_table(table);
+}
+
+}  // namespace
+
+int main() {
+  ht::bench::print_header(
+      "k-way partitioning from the paper's primitives",
+      "extension: recursive bisection & Section 2.1 peeling vs random");
+  {
+    ht::Rng rng(10);
+    run_instance("planted 4 communities",
+                 ht::hypergraph::planted_parts(4, 16, 3, 80, 6, rng), 4,
+                 6.0);
+  }
+  {
+    ht::Rng rng(11);
+    run_instance("planted 8 communities",
+                 ht::hypergraph::planted_parts(8, 8, 3, 40, 8, rng), 8, 8.0);
+  }
+  {
+    ht::Rng rng(12);
+    run_instance("netlist", ht::hypergraph::netlist_like(128, 220, 3, rng),
+                 4, -1.0);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Experiment: the two internal lemmas of Theorem 1, verified empirically
+// on planted instances where the optimal coloring is known.
+//
+//   Lemma 2: total weight cut in phase 1  <=  alpha * n * log(n) * OPT / k
+//   Lemma 3: total minority vertices after phase 1  <  k
+//
+// Both inequalities must hold at the threshold alpha*OPT/k the algorithm
+// uses. The measured slack shows how loose the amortized analysis is in
+// practice — the reason the algorithm's measured ratios in
+// bench_bisection sit far below the proved O(sqrt(n) log^{5/4} n).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bisection.hpp"
+#include "hypergraph/generators.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  ht::bench::print_header(
+      "Lemma 2 / Lemma 3 on planted instances",
+      "phase-1 cut <= alpha*n*log(n)*OPT/k and minority < k = sqrt(alpha*n)");
+
+  ht::Table table({"n", "OPT(planted)", "pieces", "phase1 cut",
+                   "Lemma2 bound", "minority", "Lemma3 bound (k)",
+                   "L2 ok", "L3 ok"});
+  for (std::int32_t half : {16, 32, 64, 128}) {
+    ht::Rng rng(static_cast<std::uint64_t>(half));
+    const std::int32_t cross = std::max(2, half / 8);
+    const auto h = ht::hypergraph::planted_bisection(
+        half, 3, 4 * half, cross, rng);
+    const std::int32_t n = h.num_vertices();
+    std::vector<bool> planted(static_cast<std::size_t>(n), false);
+    for (std::int32_t v = half; v < n; ++v)
+      planted[static_cast<std::size_t>(v)] = true;
+    const double opt = h.cut_weight(planted);  // upper bound used as OPT
+    const auto diag =
+        ht::core::phase1_diagnostics(h, opt, planted, 0.0, 0.0, 11);
+    table.add(n, opt, diag.pieces, diag.cut_weight, diag.lemma2_bound,
+              diag.minority_count, diag.lemma3_bound,
+              diag.cut_weight <= diag.lemma2_bound ? "yes" : "NO",
+              static_cast<double>(diag.minority_count) < diag.lemma3_bound
+                  ? "yes"
+                  : "NO");
+  }
+  ht::bench::print_table(table);
+
+  std::cout << "note: Lemma 3's proof needs the true OPT; using the planted "
+               "cut (an upper bound) only\nloosens the threshold, so the "
+               "inequality must still hold.\n";
+  return 0;
+}

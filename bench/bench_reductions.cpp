@@ -1,0 +1,120 @@
+// Experiments THM3 + THM4: the hardness reductions, run forward.
+//
+// Theorem 3: an MkU instance maps to a bisection instance whose optimal
+// bisection cost EQUALS the optimal union size, in both padding regimes;
+// approximate bisections map back to approximate MkU solutions with the
+// same factor.
+//
+// Theorem 4: the full DkS -> MkU -> Bisection chain loses at most f^2; we
+// chart the measured chain ratio against the bisection solver's own
+// measured f on the derived instances.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bisection.hpp"
+#include "graph/generators.hpp"
+#include "hardness/dks.hpp"
+#include "hypergraph/generators.hpp"
+#include "partition/exact.hpp"
+#include "partition/mku.hpp"
+#include "reduction/dks_mku.hpp"
+#include "reduction/mku_bisection.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void theorem3_rows() {
+  ht::bench::print_header(
+      "THM3: MkU -> Minimum Hypergraph Bisection",
+      "optimal costs coincide; approximation factors transfer");
+  ht::Table table({"items", "sets", "k", "regime", "MkU OPT",
+                   "bisection OPT", "thm1 cut", "extracted union",
+                   "factor"});
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    ht::Rng rng(seed);
+    // MkU instances need every item covered by at least one set; patch any
+    // uncovered items with one extra set.
+    auto raw = ht::hypergraph::random_uniform(10, 7, 3, rng);
+    std::vector<ht::hypergraph::VertexId> uncovered;
+    for (ht::hypergraph::VertexId v = 0; v < raw.num_vertices(); ++v)
+      if (raw.degree(v) == 0) uncovered.push_back(v);
+    ht::hypergraph::Hypergraph base(raw.num_vertices());
+    for (ht::hypergraph::EdgeId e = 0; e < raw.num_edges(); ++e) {
+      auto pins = raw.pins(e);
+      base.add_edge({pins.begin(), pins.end()});
+    }
+    if (!uncovered.empty()) {
+      if (uncovered.size() == 1) uncovered.push_back((uncovered[0] + 1) % 10);
+      base.add_edge(uncovered);
+    }
+    base.finalize();
+    for (std::int32_t k : {2, 3, 5}) {
+      ht::reduction::MkuInstance inst{base, k};
+      const auto mku_opt = ht::partition::mku_exact(base, k);
+      const auto red = ht::reduction::mku_to_bisection(inst);
+      const auto bis_opt = ht::partition::exact_hypergraph_bisection(
+          red.bisection_instance);
+      ht::core::Theorem1Options options;
+      options.seed = seed * 100 + static_cast<std::uint64_t>(k);
+      const auto approx =
+          ht::core::bisect_theorem1(red.bisection_instance, options);
+      std::vector<bool> with_super = approx.solution.side;
+      if (!with_super[static_cast<std::size_t>(red.supervertex)])
+        with_super.flip();
+      const auto extracted = red.extract_mku_solution(with_super, k);
+      const double extracted_union =
+          ht::reduction::mku_union_weight(base, extracted);
+      table.add(base.num_vertices(), base.num_edges(), k,
+                red.padding_glued ? "glued" : "free", mku_opt.union_weight,
+                bis_opt.cut, approx.solution.cut, extracted_union,
+                mku_opt.union_weight > 0
+                    ? extracted_union / mku_opt.union_weight
+                    : 1.0);
+    }
+  }
+  ht::bench::print_table(table);
+}
+
+void theorem4_rows() {
+  ht::bench::print_header(
+      "THM4: DkS via the full reduction chain",
+      "f-approx bisection => f^2-approx DkS; chain ratio should track "
+      "(measured f)^2");
+  ht::Table table({"n", "k", "DkS OPT", "greedy", "via chain",
+                   "chain/OPT", "1/f^2 floor"});
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    ht::Rng rng(seed);
+    // Background + planted clique instance.
+    const std::int32_t n = 16, k = 6;
+    ht::graph::Graph g(n);
+    for (ht::graph::VertexId a = 0; a < k; ++a)
+      for (ht::graph::VertexId b = a + 1; b < k; ++b) g.add_edge(a, b);
+    const auto background = ht::graph::gnp(n, 0.15, rng);
+    for (const auto& e : background.edges())
+      if (e.u >= k || e.v >= k) g.add_edge(e.u, e.v);
+    g.finalize();
+    const auto exact = ht::hardness::dks_exact(g, k);
+    const auto greedy = ht::hardness::dks_greedy_peel(g, k);
+    const auto chain = ht::hardness::dks_via_bisection(g, k, seed, 6);
+    const double chain_ratio =
+        exact.induced_edges > 0
+            ? static_cast<double>(chain.induced_edges) /
+                  static_cast<double>(exact.induced_edges)
+            : 1.0;
+    // Theorem 4 with f = 1 predicts ratio 1; with measured f it predicts
+    // at least 1/f^2. We report 1/f^2 using f from the bisection ratios in
+    // THM3 (conservatively f = 2).
+    table.add(n, k, exact.induced_edges, greedy.induced_edges,
+              chain.induced_edges, chain_ratio, 1.0 / (2.0 * 2.0));
+  }
+  ht::bench::print_table(table);
+}
+
+}  // namespace
+
+int main() {
+  theorem3_rows();
+  theorem4_rows();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Experiment GH-exact: the sharp graph/hypergraph separation the paper
+// highlights.
+//
+// For ordinary graphs the Gomory–Hu tree is an EXACT edge cut tree
+// (quality 1). The identical pipeline on hypergraphs is doomed: Theorem 6
+// gives Omega(n) for edge cut trees and Theorem 7 Omega(sqrt(n)) for
+// vertex cut trees. One table, three columns, one paper headline.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cuttree/edge_cut_trees.hpp"
+#include "cuttree/quality.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "flow/gomory_hu.hpp"
+#include "flow/hypergraph_gomory_hu.hpp"
+#include "flow/min_cut.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "reduction/star_expansion.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+/// Worst ratio tree-cut / graph-cut over all singleton pairs for a
+/// Gomory–Hu tree (should be exactly 1).
+double gomory_hu_quality(const ht::graph::Graph& g) {
+  const auto tree = ht::flow::gomory_hu(g);
+  double worst = 1.0;
+  for (ht::graph::VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (ht::graph::VertexId t = s + 1; t < g.num_vertices(); ++t) {
+      const double direct = ht::flow::min_edge_cut(g, {s}, {t}).value;
+      if (direct <= 0) continue;
+      worst = std::max(worst, tree.min_cut(s, t) / direct);
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  ht::bench::print_header(
+      "GH-exact: graphs admit exact cut trees; hypergraphs do not",
+      "graph GH-tree quality = 1; hypergraph edge cut tree Omega(n); "
+      "vertex cut tree Omega(sqrt(n))");
+
+  ht::Table table({"n", "graph GH tree", "hyp GH tree (s-t cuts)",
+                   "hyp edge-cut tree (Thm6 inst.)",
+                   "hyp vertex-cut tree (Fig2 inst.)", "sqrt(n)", "n"});
+  for (std::int32_t n : {16, 36, 64, 100}) {
+    ht::Rng rng(55 + static_cast<std::uint64_t>(n));
+    // Column 1: random graph, Gomory–Hu, exhaustive singleton pairs.
+    const auto g = ht::graph::gnp_connected(n, 4.0 / n, rng);
+    const double graph_quality = gomory_hu_quality(g);
+
+    // Column 2: hypergraph Gomory–Hu tree — exact for SINGLETON pairs even
+    // on hypergraphs (the cut function is symmetric submodular), showing
+    // the barrier is a set-cut phenomenon.
+    const auto spanning = ht::hypergraph::single_spanning_edge(n);
+    double hyper_gh_quality = 1.0;
+    {
+      ht::Rng hrng(3 + static_cast<std::uint64_t>(n));
+      const auto rh = ht::hypergraph::random_uniform(
+          std::min(n, 24), 2 * std::min(n, 24), 3, hrng);
+      if (ht::hypergraph::is_connected(rh)) {
+        const auto ghh = ht::flow::hypergraph_gomory_hu(rh);
+        for (std::int32_t s = 0; s < rh.num_vertices(); ++s) {
+          for (std::int32_t t = s + 1; t < rh.num_vertices(); ++t) {
+            const double direct =
+                ht::flow::min_hyperedge_cut(rh, {s}, {t}).value;
+            if (direct <= 0) continue;
+            hyper_gh_quality =
+                std::max(hyper_gh_quality, ghh.min_cut(s, t) / direct);
+          }
+        }
+      }
+    }
+    double edge_tree_quality = 1e300;
+    {
+      std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+      for (std::int32_t v = 0; v < n; ++v)
+        order[static_cast<std::size_t>(v)] = v;
+      std::vector<ht::cuttree::Tree> trees;
+      trees.push_back(ht::cuttree::star_topology(n));
+      trees.push_back(ht::cuttree::balanced_binary_topology(order));
+      trees.push_back(ht::cuttree::gomory_hu_topology(spanning));
+      std::vector<ht::cuttree::VertexPair> pairs;
+      for (int rep = 0; rep < 8; ++rep) {
+        auto pick = rng.sample_without_replacement(n, n / 2);
+        std::vector<bool> chosen(static_cast<std::size_t>(n), false);
+        for (auto v : pick) chosen[static_cast<std::size_t>(v)] = true;
+        ht::cuttree::VertexPair p;
+        for (std::int32_t v = 0; v < n; ++v)
+          (chosen[static_cast<std::size_t>(v)] ? p.first : p.second)
+              .push_back(v);
+        pairs.push_back(std::move(p));
+      }
+      for (auto& tree : trees) {
+        ht::cuttree::assign_induced_weights(spanning, tree);
+        const auto q =
+            ht::cuttree::edge_cut_tree_quality(spanning, tree, pairs);
+        edge_tree_quality = std::min(edge_tree_quality, q.quality);
+      }
+    }
+
+    // Column 3: Figure 2 instance, Section 3.1 vertex cut tree.
+    const auto fig = ht::hypergraph::figure2(n);
+    const auto star = ht::reduction::star_expansion(fig.hypergraph);
+    const auto built = ht::cuttree::build_vertex_cut_tree(star.graph);
+    std::vector<ht::cuttree::VertexPair> hpairs;
+    const auto k = static_cast<std::int32_t>(
+        std::floor(std::sqrt(static_cast<double>(n))));
+    {
+      ht::cuttree::VertexPair p;
+      for (std::int32_t i = 0; i < n; ++i)
+        ((i % std::max(1, k) == 0 &&
+          static_cast<std::int32_t>(p.first.size()) < k)
+             ? p.first
+             : p.second)
+            .push_back(fig.u[static_cast<std::size_t>(i)]);
+      hpairs.push_back(std::move(p));
+    }
+    for (int rep = 0; rep < 6; ++rep) {
+      auto pick = rng.sample_without_replacement(n, std::max(2, k));
+      ht::cuttree::VertexPair p;
+      std::vector<bool> chosen(static_cast<std::size_t>(n), false);
+      for (auto idx : pick) chosen[static_cast<std::size_t>(idx)] = true;
+      for (std::int32_t i = 0; i < n; ++i)
+        (chosen[static_cast<std::size_t>(i)] ? p.first : p.second)
+            .push_back(fig.u[static_cast<std::size_t>(i)]);
+      hpairs.push_back(std::move(p));
+    }
+    const auto vq = ht::cuttree::hypergraph_cut_tree_quality(
+        fig.hypergraph, built.tree, hpairs);
+
+    table.add(n, graph_quality, hyper_gh_quality, edge_tree_quality,
+              vq.max_ratio, std::sqrt(static_cast<double>(n)), n);
+  }
+  ht::bench::print_table(table);
+  std::cout << "headline: set-cut columns grow (~n and ~sqrt(n)) while both "
+               "singleton-pair GH columns stay at exactly 1 —\nthe "
+               "separation is intrinsically about cutting SETS apart, "
+               "which is what bisection needs.\n";
+  return 0;
+}

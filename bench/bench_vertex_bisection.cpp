@@ -1,0 +1,116 @@
+// Experiment: Table 1's "Bisection U.B." for vertex cuts —
+// O(sqrt(n) log^{5/4} n) (unweighted) and the weighted analogue via the
+// Section 3.1 cut tree + balanced tree DP.
+//
+// Small instances: ratio against the exact optimum. Larger instances:
+// absolute separator weights across pipelines, with the Table 1 bound for
+// scale. The weighted rows run the Figure 3 instance GH, where Lemma 8
+// says no cut-tree approach can be better than sqrt(N) — visible as the
+// cut-tree column drifting away from exact on GH but not on flat-weight
+// graphs.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/vertex_bisection.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void small_ratio_rows() {
+  ht::bench::print_header(
+      "vertex bisection vs exact OPT (small instances)",
+      "cut-tree pipeline within O(sqrt(n) log^{5/4} n) of OPT  [Table 1]");
+  ht::Table table({"n", "exact", "cut-tree", "spectral", "ratio(tree)",
+                   "bound"});
+  std::vector<double> xs, ys;
+  for (std::int32_t n : {10, 12, 14, 16}) {
+    double exact_sum = 0, tree_sum = 0, spectral_sum = 0, ratio_sum = 0;
+    int ratio_count = 0;
+    for (int trial = 0; trial < 3; ++trial) {
+      ht::Rng rng(static_cast<std::uint64_t>(n * 10 + trial));
+      const auto g = ht::graph::gnp_connected(n, 0.25, rng);
+      const auto exact = ht::core::exact_vertex_bisection(g);
+      ht::core::VertexBisectionOptions options;
+      options.seed = static_cast<std::uint64_t>(trial);
+      const auto tree = ht::core::vertex_bisection_via_cut_tree(g, options);
+      ht::Rng srng(static_cast<std::uint64_t>(trial) + 31);
+      const auto spectral = ht::core::vertex_bisection_spectral(g, srng);
+      exact_sum += exact.separator_weight;
+      tree_sum += tree.separator_weight;
+      spectral_sum += spectral.separator_weight;
+      if (exact.separator_weight > 0) {
+        ratio_sum += tree.separator_weight / exact.separator_weight;
+        ++ratio_count;
+      }
+    }
+    const double bound = std::sqrt(static_cast<double>(n)) *
+                         std::pow(std::log2(static_cast<double>(n)), 1.25);
+    const double mean_ratio = ratio_count ? ratio_sum / ratio_count : 1.0;
+    table.add(n, exact_sum / 3, tree_sum / 3, spectral_sum / 3, mean_ratio,
+              bound);
+    xs.push_back(n);
+    ys.push_back(std::max(1.0, mean_ratio));
+  }
+  ht::bench::print_table(table);
+  ht::bench::print_shape("vertex-bisection-ratio", xs, ys,
+                         "<= 0.5 (+polylog)");
+}
+
+void scaling_rows() {
+  ht::bench::print_header(
+      "vertex bisection at scale (grids & random graphs)",
+      "separator weight of each pipeline; grids have sqrt(n) separators");
+  ht::Table table({"family", "n", "cut-tree", "spectral", "sqrt(n)"});
+  for (std::int32_t side : {6, 8, 10, 12}) {
+    const auto g = ht::graph::grid(side, side);
+    const std::int32_t n = g.num_vertices();
+    if (n % 2 != 0) continue;
+    ht::core::VertexBisectionOptions options;
+    const auto tree = ht::core::vertex_bisection_via_cut_tree(g, options);
+    ht::Rng srng(static_cast<std::uint64_t>(side));
+    const auto spectral = ht::core::vertex_bisection_spectral(g, srng);
+    table.add("grid", n, tree.separator_weight, spectral.separator_weight,
+              std::sqrt(static_cast<double>(n)));
+  }
+  for (std::int32_t n : {32, 64, 128}) {
+    ht::Rng rng(static_cast<std::uint64_t>(n));
+    const auto g = ht::graph::gnp_connected(n, 4.0 / n, rng);
+    ht::core::VertexBisectionOptions options;
+    const auto tree = ht::core::vertex_bisection_via_cut_tree(g, options);
+    ht::Rng srng(static_cast<std::uint64_t>(n) + 3);
+    const auto spectral = ht::core::vertex_bisection_spectral(g, srng);
+    table.add("gnp", n, tree.separator_weight, spectral.separator_weight,
+              std::sqrt(static_cast<double>(n)));
+  }
+  ht::bench::print_table(table);
+}
+
+void weighted_rows() {
+  ht::bench::print_header(
+      "weighted vertex bisection on the Figure 3 instance GH",
+      "Lemma 8: no cut tree beats sqrt(N) here — watch the tree column");
+  ht::Table table({"n", "N", "cut-tree", "spectral", "sqrt(W)"});
+  for (std::int32_t n : {9, 16, 25, 49}) {
+    const auto fig = ht::graph::figure3_gh(n);
+    ht::core::VertexBisectionOptions options;
+    const auto tree =
+        ht::core::vertex_bisection_via_cut_tree(fig.graph, options);
+    ht::Rng srng(static_cast<std::uint64_t>(n));
+    const auto spectral = ht::core::vertex_bisection_spectral(fig.graph, srng);
+    table.add(n, fig.graph.num_vertices(), tree.separator_weight,
+              spectral.separator_weight,
+              std::sqrt(fig.graph.total_vertex_weight()));
+  }
+  ht::bench::print_table(table);
+}
+
+}  // namespace
+
+int main() {
+  small_ratio_rows();
+  scaling_rows();
+  weighted_rows();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Regenerates the paper's figures as Graphviz DOT files:
+//
+//   figure1.dot — the Section 3.1 vertex cut tree of a small graph (the
+//                 separator-root / infinite-anchor structure of Figure 1);
+//   figure2.dot — the Theorem 7 lower-bound hypergraph (star + heavy
+//                 spanning hyperedge), drawn bipartite;
+//   figure3.dot — the Lemma 8 weighted graph GH.
+//
+//   $ ./figure_gallery [out_dir]     # then: dot -Tsvg figure1.dot
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "cuttree/dot.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+
+namespace {
+
+void write(const std::string& path, const std::string& what,
+           const std::function<void(std::ostream&)>& body) {
+  std::ofstream os(path);
+  if (!os.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  body(os);
+  std::cout << "wrote " << path << "  (" << what << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+
+  // Figure 1: the cut-tree structure, built for a 3x4 grid at a permissive
+  // threshold so the decomposition is visible.
+  {
+    const auto g = ht::graph::grid(3, 4);
+    ht::cuttree::VertexCutTreeOptions options;
+    options.threshold_override = 0.45;
+    const auto built = ht::cuttree::build_vertex_cut_tree(g, options);
+    write(dir + "/figure1.dot",
+          "Section 3.1 tree: root = separator set, boxes = pieces",
+          [&](std::ostream& os) { ht::write_dot(built.tree, os); });
+  }
+  // Figure 2: the Theorem 7 instance.
+  {
+    const auto fig = ht::hypergraph::figure2(9);
+    write(dir + "/figure2.dot",
+          "Theorem 7 hypergraph: star edges + sqrt(n)-weight spanning edge",
+          [&](std::ostream& os) { ht::write_dot(fig.hypergraph, os); });
+  }
+  // Figure 3: the Lemma 8 graph GH.
+  {
+    const auto fig = ht::graph::figure3_gh(9);
+    write(dir + "/figure3.dot",
+          "Lemma 8 graph GH: t(sqrt n) - u_i(sqrt n + 1) - w_i(1) - v(n)",
+          [&](std::ostream& os) { ht::write_dot(fig.graph, os); });
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Dense vs Random demo — the structure behind the paper's lower bound
+// (Corollary 1): a planted instance hides an ell-union of size k that no
+// efficient search finds, while random instances provably have none.
+//
+//   $ ./hardness_gap_demo [n] [k]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "hardness/dense_vs_random.hpp"
+#include "hypergraph/generators.hpp"
+#include "partition/mku.hpp"
+#include "reduction/mku_bisection.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  const std::int32_t n = argc > 1 ? std::atoi(argv[1]) : 150;
+  const std::int32_t k = argc > 2 ? std::atoi(argv[2]) : 16;
+  const std::int32_t r = 3;
+  const double beta = 1.5;
+  ht::Rng rng(99);
+  const double p = std::pow(static_cast<double>(n), 1.0 + 0.5 - r);
+  const auto planted = ht::hypergraph::planted_dense(n, p, r, k, beta, rng);
+  const auto ell = static_cast<std::int64_t>(
+      std::llround(std::pow(static_cast<double>(k), 1.0 + beta) / r));
+
+  std::cout << "planted instance: " << planted.hypergraph.debug_string()
+            << ", planted " << planted.hypergraph.num_edges() -
+                                   planted.first_planted_edge
+            << " edges on " << k << " vertices; ell = " << ell << "\n\n";
+
+  // The witness the adversary knows.
+  std::vector<ht::hypergraph::EdgeId> witness;
+  for (ht::hypergraph::EdgeId e = planted.first_planted_edge;
+       e < planted.hypergraph.num_edges() &&
+       static_cast<std::int64_t>(witness.size()) < ell;
+       ++e)
+    witness.push_back(e);
+  std::cout << "adversary's witness union      = "
+            << ht::reduction::mku_union_weight(planted.hypergraph, witness)
+            << "   (<= k = " << k << ")\n";
+
+  // What efficient search sees.
+  const auto greedy = ht::partition::mku_local_search(
+      planted.hypergraph, static_cast<std::int32_t>(ell), 2);
+  std::cout << "greedy + local search finds    = " << greedy.union_weight
+            << "\n";
+
+  ht::Rng rng2(7);
+  const auto random_h = ht::hypergraph::random_uniform(
+      n, planted.hypergraph.num_edges(), r, rng2);
+  ht::Rng eval(8);
+  const auto random_cov =
+      ht::hardness::union_coverage(random_h, ell, eval, 32);
+  std::cout << "pure-random instance greedy    = " << random_cov.greedy_union
+            << "\n\n";
+
+  std::cout
+      << "The planted structure exists (witness ~ " << k
+      << ") but greedy lands near the random baseline —\nthis "
+         "indistinguishability is Conjecture 1, which Corollary 1 converts "
+         "into the n^{1/4-eps}\nhardness of Minimum Hypergraph Bisection.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// VLSI netlist partitioning — the workload class that motivates hypergraph
+// (rather than graph) cut models: a multi-pin net is cut ONCE no matter how
+// many of its pins straddle the cut, which the clique expansion
+// over-counts (Lemma 1's distortion, measured below).
+//
+//   $ ./vlsi_partitioning [n] [nets]
+//
+// Generates a netlist-like hypergraph, partitions it with every pipeline,
+// and reports both the hyperedge cut (what a placer cares about) and the
+// clique-expansion cut (what a graph partitioner would have optimized).
+#include <cstdlib>
+#include <iostream>
+
+#include "core/bisection.hpp"
+#include "hypergraph/generators.hpp"
+#include "reduction/clique_expansion.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  const std::int32_t n = argc > 1 ? std::atoi(argv[1]) : 128;
+  const std::int32_t nets = argc > 2 ? std::atoi(argv[2]) : 240;
+  ht::Rng rng(2024);
+  const auto h = ht::hypergraph::netlist_like(n, nets, 3, rng);
+  const auto expansion = ht::reduction::clique_expansion(h);
+
+  std::cout << "netlist: " << h.debug_string() << "\n"
+            << "clique expansion: " << expansion.debug_string() << "\n\n";
+
+  ht::Table table({"algorithm", "net cut (delta_H)",
+                   "clique-model cut (delta_G')", "time(s)"});
+  auto run = [&](const char* name, auto&& solve) {
+    ht::Timer timer;
+    const ht::core::BisectionReport report = solve();
+    const double elapsed = timer.seconds();
+    table.add(name, report.solution.cut,
+              expansion.cut_weight(report.solution.side), elapsed);
+  };
+  run("theorem1", [&] { return ht::core::bisect_theorem1(h); });
+  run("small-edges (Lemma 1)",
+      [&] { return ht::core::bisect_small_edges(h); });
+  run("cut-tree (Cor. 3)", [&] { return ht::core::bisect_via_cut_tree(h); });
+  run("fm", [&] {
+    ht::Rng fm_rng(7);
+    return ht::core::bisect_fm_baseline(h, fm_rng);
+  });
+  table.print(std::cout);
+
+  std::cout << "\nThe gap between the two cut columns is Lemma 1's "
+               "distortion on real nets:\na graph partitioner optimizing "
+               "delta_G' pays it invisibly.\n";
+  return 0;
+}

@@ -1,0 +1,501 @@
+#include "core/bisection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "cuttree/tree_bisection.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "partition/graph_bisection.hpp"
+#include "partition/sparsest_cut.hpp"
+#include "partition/unbalanced_kcut.hpp"
+#include "reduction/clique_expansion.hpp"
+#include "reduction/star_expansion.hpp"
+
+namespace ht::core {
+
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+using ht::partition::BisectionSolution;
+
+namespace {
+
+constexpr double kHuge = 1e200;
+
+struct Phase1Result {
+  std::vector<std::vector<VertexId>> pieces;  // original vertex ids
+  double cut_weight = 0.0;                    // hyperedges cut while peeling
+};
+
+/// Phase 1 of Theorem 1: recursively peel sparsest cuts while a cut of
+/// sparsity below `threshold` exists.
+Phase1Result phase1_peel(const Hypergraph& h, double threshold,
+                         ht::Rng& rng) {
+  Phase1Result out;
+  std::deque<std::vector<VertexId>> queue;
+  {
+    std::vector<VertexId> all(static_cast<std::size_t>(h.num_vertices()));
+    for (VertexId v = 0; v < h.num_vertices(); ++v)
+      all[static_cast<std::size_t>(v)] = v;
+    queue.push_back(std::move(all));
+  }
+  while (!queue.empty()) {
+    std::vector<VertexId> piece = std::move(queue.front());
+    queue.pop_front();
+    if (piece.size() < 2) {
+      out.pieces.push_back(std::move(piece));
+      continue;
+    }
+    const auto sub = ht::hypergraph::induced_subhypergraph(h, piece);
+    ht::partition::SparsestCutResult sc;
+    if (piece.size() <= 14) {
+      sc = ht::partition::sparsest_hyperedge_cut_exact(sub.hypergraph);
+    } else {
+      sc = ht::partition::sparsest_hyperedge_cut(sub.hypergraph, rng);
+    }
+    if (!sc.valid || sc.sparsity >= threshold) {
+      out.pieces.push_back(std::move(piece));
+      continue;
+    }
+    out.cut_weight += sc.cut;
+    std::vector<bool> in_small(piece.size(), false);
+    for (VertexId local : sc.smaller_side)
+      in_small[static_cast<std::size_t>(local)] = true;
+    std::vector<VertexId> small, large;
+    for (std::size_t local = 0; local < piece.size(); ++local) {
+      (in_small[local] ? small : large).push_back(sub.old_of_new[local]);
+    }
+    queue.push_back(std::move(small));
+    queue.push_back(std::move(large));
+  }
+  return out;
+}
+
+struct PieceProfile {
+  std::vector<VertexId> vertices;           // original ids
+  std::vector<double> cost;                 // cost[k], k in [0, kmax]
+  std::vector<std::vector<VertexId>> sets;  // witness sets (original ids)
+};
+
+/// Per-piece unbalanced-k-cut cost profiles, mapped back to original ids.
+/// k ranges to min(|piece|, k_cap); removing the entire piece (k = |piece|)
+/// is free of *internal* cut cost and is included when |piece| <= k_cap.
+PieceProfile build_piece_profile(const Hypergraph& h,
+                                 std::vector<VertexId> piece,
+                                 std::int32_t k_cap, ht::Rng& rng) {
+  PieceProfile out;
+  out.vertices = std::move(piece);
+  const auto size = static_cast<std::int32_t>(out.vertices.size());
+  const std::int32_t kmax = std::min(size, k_cap);
+  out.cost.assign(static_cast<std::size_t>(kmax) + 1, kHuge);
+  out.sets.resize(static_cast<std::size_t>(kmax) + 1);
+  out.cost[0] = 0.0;
+  if (kmax == 0) return out;
+  const auto sub = ht::hypergraph::induced_subhypergraph(h, out.vertices);
+  const std::int32_t internal_kmax = std::min(kmax, size - 1);
+  if (internal_kmax >= 1 && sub.hypergraph.num_vertices() >= 2) {
+    auto profile = ht::partition::unbalanced_kcut_profile(
+        sub.hypergraph, internal_kmax, rng);
+    for (std::int32_t k = 1;
+         k < static_cast<std::int32_t>(profile.cost.size()); ++k) {
+      const auto idx = static_cast<std::size_t>(k);
+      if (profile.cost[idx] >= kHuge || profile.sets[idx].empty()) continue;
+      out.cost[idx] = profile.cost[idx];
+      auto& set = out.sets[idx];
+      set.reserve(profile.sets[idx].size());
+      for (VertexId local : profile.sets[idx])
+        set.push_back(sub.old_of_new[static_cast<std::size_t>(local)]);
+    }
+  } else if (internal_kmax >= 1) {
+    // Piece with < 2 effective vertices in the sub-hypergraph cannot
+    // happen (induced keeps all vertices), kept for safety.
+    for (std::int32_t k = 1; k <= internal_kmax; ++k) {
+      out.cost[static_cast<std::size_t>(k)] = 0.0;
+      out.sets[static_cast<std::size_t>(k)].assign(
+          out.vertices.begin(), out.vertices.begin() + k);
+    }
+  }
+  if (kmax == size) {
+    // Remove the whole piece: no internal hyperedge is cut by the removal
+    // itself (cross-piece edges were paid in phase 1).
+    out.cost[static_cast<std::size_t>(size)] = 0.0;
+    out.sets[static_cast<std::size_t>(size)] = out.vertices;
+  }
+  // Profiles should be usable at any k the DP may pick: fill gaps with
+  // prefix-extensions of the nearest smaller witness.
+  for (std::int32_t k = 1;
+       k < static_cast<std::int32_t>(out.cost.size()); ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    if (out.cost[idx] < kHuge) continue;
+    // Extend the previous witness by arbitrary extra vertices.
+    const auto& prev = out.sets[idx - 1];
+    std::vector<bool> used(out.vertices.size(), false);
+    std::vector<VertexId> set = prev;
+    for (VertexId v : prev) {
+      const auto it = std::find(out.vertices.begin(), out.vertices.end(), v);
+      used[static_cast<std::size_t>(it - out.vertices.begin())] = true;
+    }
+    for (std::size_t i = 0;
+         i < out.vertices.size() &&
+         set.size() < static_cast<std::size_t>(k);
+         ++i) {
+      if (!used[i]) set.push_back(out.vertices[i]);
+    }
+    if (set.size() == static_cast<std::size_t>(k)) {
+      const auto sub2 = ht::hypergraph::induced_subhypergraph(h, out.vertices);
+      // Cost: cut of the extended set inside the piece.
+      std::vector<VertexId> local_set;
+      for (VertexId v : set) {
+        const auto it =
+            std::find(out.vertices.begin(), out.vertices.end(), v);
+        local_set.push_back(
+            static_cast<VertexId>(it - out.vertices.begin()));
+      }
+      out.cost[idx] = sub2.hypergraph.cut_weight(local_set);
+      out.sets[idx] = std::move(set);
+    }
+  }
+  return out;
+}
+
+struct DpChoice {
+  std::int16_t k = -1;
+  std::int8_t side = 0;
+};
+
+/// Phase 2 dynamic program over pieces. Returns a balanced side indicator
+/// or an empty vector if no feasible combination exists under the k caps.
+std::vector<bool> phase2_dp(const Hypergraph& h,
+                            const std::vector<PieceProfile>& profiles,
+                            double* dp_estimate) {
+  const VertexId n = h.num_vertices();
+  const VertexId half = n / 2;
+  std::int32_t r_max = 0;
+  for (const auto& p : profiles)
+    r_max += static_cast<std::int32_t>(p.cost.size()) - 1;
+  r_max = std::min<std::int32_t>(r_max, n);
+
+  const auto s_states = static_cast<std::size_t>(half) + 1;
+  const auto r_states = static_cast<std::size_t>(r_max) + 1;
+  auto at = [s_states](std::size_t s, std::size_t r) {
+    return r * s_states + s;
+  };
+  std::vector<double> dp(s_states * r_states, kHuge);
+  dp[at(0, 0)] = 0.0;
+  // choices[i] records the winning (k, side) per state after piece i.
+  std::vector<std::vector<DpChoice>> choices(profiles.size());
+
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& prof = profiles[i];
+    const auto piece_size = static_cast<std::int32_t>(prof.vertices.size());
+    std::vector<double> next(s_states * r_states, kHuge);
+    choices[i].assign(s_states * r_states, DpChoice{});
+    for (std::size_t r = 0; r < r_states; ++r) {
+      for (std::size_t s = 0; s < s_states; ++s) {
+        const double base = dp[at(s, r)];
+        if (base >= kHuge) continue;
+        for (std::int32_t k = 0;
+             k < static_cast<std::int32_t>(prof.cost.size()); ++k) {
+          const double cost = prof.cost[static_cast<std::size_t>(k)];
+          if (cost >= kHuge) continue;
+          const std::size_t nr = r + static_cast<std::size_t>(k);
+          if (nr >= r_states) break;
+          const std::int32_t remainder = piece_size - k;
+          for (std::int8_t side = 0; side < 2; ++side) {
+            const std::size_t ns =
+                s + (side == 1 ? static_cast<std::size_t>(remainder) : 0);
+            if (ns >= s_states) continue;
+            const double total = base + cost;
+            auto& slot = next[at(ns, nr)];
+            if (total < slot) {
+              slot = total;
+              choices[i][at(ns, nr)] = DpChoice{static_cast<std::int16_t>(k),
+                                                side};
+            }
+            if (remainder == 0) break;  // both sides identical
+          }
+        }
+      }
+    }
+    dp = std::move(next);
+  }
+
+  // Feasible terminal states: side1 remainder s, removed r, side0
+  // remainder = n - r - s must also fit in half.
+  double best = kHuge;
+  std::size_t best_s = 0, best_r = 0;
+  for (std::size_t r = 0; r < r_states; ++r) {
+    for (std::size_t s = 0; s < s_states; ++s) {
+      if (dp[at(s, r)] >= kHuge) continue;
+      const std::int64_t side0 =
+          static_cast<std::int64_t>(n) - static_cast<std::int64_t>(r) -
+          static_cast<std::int64_t>(s);
+      if (side0 < 0 || side0 > half) continue;
+      if (dp[at(s, r)] < best) {
+        best = dp[at(s, r)];
+        best_s = s;
+        best_r = r;
+      }
+    }
+  }
+  if (best >= kHuge) return {};
+  if (dp_estimate != nullptr) *dp_estimate = best;
+
+  // Backtrack.
+  std::vector<bool> side(static_cast<std::size_t>(n), false);
+  std::vector<VertexId> removed;
+  std::size_t s = best_s, r = best_r;
+  for (std::size_t i = profiles.size(); i > 0; --i) {
+    const auto& prof = profiles[i - 1];
+    const DpChoice choice = choices[i - 1][at(s, r)];
+    HT_CHECK(choice.k >= 0);
+    const auto k = static_cast<std::size_t>(choice.k);
+    const auto& cut_set = prof.sets[k];
+    std::vector<bool> in_cut(prof.vertices.size(), false);
+    for (VertexId v : cut_set) {
+      removed.push_back(v);
+      // Mark membership by position.
+      for (std::size_t j = 0; j < prof.vertices.size(); ++j)
+        if (prof.vertices[j] == v) in_cut[j] = true;
+    }
+    for (std::size_t j = 0; j < prof.vertices.size(); ++j) {
+      if (!in_cut[j])
+        side[static_cast<std::size_t>(prof.vertices[j])] = choice.side == 1;
+    }
+    const std::int32_t remainder =
+        static_cast<std::int32_t>(prof.vertices.size()) -
+        static_cast<std::int32_t>(k);
+    if (choice.side == 1) s -= static_cast<std::size_t>(remainder);
+    r -= k;
+  }
+  HT_CHECK(s == 0 && r == 0);
+  // Distribute removed vertices to reach exact balance.
+  std::int64_t on_one = 0;
+  for (bool b : side) on_one += b ? 1 : 0;
+  // Subtract removed vertices currently defaulted to side 0 — they are
+  // unassigned; place them now.
+  for (VertexId v : removed) {
+    if (on_one < half) {
+      side[static_cast<std::size_t>(v)] = true;
+      ++on_one;
+    } else {
+      side[static_cast<std::size_t>(v)] = false;
+    }
+  }
+  HT_CHECK_MSG(on_one == half, "phase 2 balance repair failed");
+  return side;
+}
+
+BisectionReport finish(const Hypergraph& h, std::vector<bool> side,
+                       std::string algorithm, bool fm_polish) {
+  BisectionReport out;
+  out.algorithm = std::move(algorithm);
+  BisectionSolution sol;
+  sol.side = std::move(side);
+  sol.cut = h.cut_weight(sol.side);
+  sol.valid = true;
+  if (fm_polish) {
+    BisectionSolution refined = ht::partition::fm_refine(h, sol.side);
+    if (refined.cut < sol.cut) sol = std::move(refined);
+  }
+  out.solution = std::move(sol);
+  return out;
+}
+
+}  // namespace
+
+BisectionReport bisect_theorem1(const Hypergraph& h,
+                                const Theorem1Options& options) {
+  HT_CHECK(h.finalized());
+  const VertexId n = h.num_vertices();
+  HT_CHECK(n >= 2 && n % 2 == 0);
+  ht::Rng rng(options.seed);
+
+  const double nd = static_cast<double>(n);
+  double alpha = options.alpha;
+  if (alpha <= 0.0) alpha = std::sqrt(std::max(1.0, std::log2(nd + 1.0)));
+  double k = options.k_override > 0.0 ? options.k_override
+                                      : std::sqrt(alpha * nd);
+  k = std::max(1.0, std::min(k, nd / 2.0));
+  const auto k_cap = static_cast<std::int32_t>(std::ceil(k));
+
+  // OPT guesses: geometric ladder across the plausible cut range.
+  double min_w = kHuge, total_w = 0.0;
+  for (ht::hypergraph::EdgeId e = 0; e < h.num_edges(); ++e) {
+    const double w = h.edge_weight(e);
+    total_w += w;
+    if (w > 0.0) min_w = std::min(min_w, w);
+  }
+  if (h.num_edges() == 0 || total_w <= 0.0) {
+    // No edges: any balanced partition is optimal.
+    std::vector<bool> side(static_cast<std::size_t>(n), false);
+    for (VertexId v = 0; v < n / 2; ++v) side[static_cast<std::size_t>(v)] =
+        true;
+    return finish(h, std::move(side), "theorem1", false);
+  }
+  std::vector<double> guesses;
+  const std::int32_t g = std::max<std::int32_t>(options.guesses, 2);
+  for (std::int32_t j = 0; j < g; ++j) {
+    const double t = static_cast<double>(j) / static_cast<double>(g - 1);
+    guesses.push_back(min_w * std::pow(total_w / min_w, t));
+  }
+
+  BisectionReport best;
+  best.algorithm = "theorem1";
+  for (double guess : guesses) {
+    const double threshold = alpha * guess / k;
+    ht::Rng guess_rng = rng.split();
+    Phase1Result p1 = phase1_peel(h, threshold, guess_rng);
+    std::vector<PieceProfile> profiles;
+    profiles.reserve(p1.pieces.size());
+    for (auto& piece : p1.pieces)
+      profiles.push_back(
+          build_piece_profile(h, std::move(piece), k_cap, guess_rng));
+    double dp_estimate = 0.0;
+    std::vector<bool> side = phase2_dp(h, profiles, &dp_estimate);
+    if (side.empty()) continue;  // infeasible under this guess's peeling
+    BisectionReport candidate =
+        finish(h, std::move(side), "theorem1", options.fm_polish);
+    candidate.opt_guess = guess;
+    candidate.phase1_pieces = static_cast<std::int32_t>(profiles.size());
+    candidate.phase1_cut = p1.cut_weight;
+    candidate.dp_estimate = dp_estimate;
+    if (!best.solution.valid ||
+        candidate.solution.cut < best.solution.cut) {
+      best = std::move(candidate);
+    }
+  }
+  HT_CHECK_MSG(best.solution.valid,
+               "theorem1: no OPT guess produced a feasible bisection");
+  return best;
+}
+
+BisectionReport bisect_small_edges(const Hypergraph& h,
+                                   const SmallEdgeOptions& options) {
+  HT_CHECK(h.finalized());
+  HT_CHECK(h.num_vertices() % 2 == 0);
+  ht::Rng rng(options.seed);
+  // Lemma 1: solve Minimum Bisection on the clique expansion, evaluate in
+  // H. The graph bisection black box is the decomposition-tree pipeline
+  // ([17]-style) raced against multi-start FM; the better graph cut wins.
+  const ht::graph::Graph expansion = ht::reduction::clique_expansion(h);
+  Hypergraph wrapper(expansion.num_vertices());
+  for (const auto& e : expansion.edges()) wrapper.add_edge({e.u, e.v}, e.weight);
+  wrapper.finalize();
+  BisectionSolution graph_sol =
+      ht::partition::fm_bisection(wrapper, rng, options.fm_starts);
+  if (expansion.num_edges() > 0) {
+    BisectionSolution tree_sol =
+        ht::partition::graph_bisection_tree_based(expansion, rng);
+    if (tree_sol.valid && tree_sol.cut < graph_sol.cut)
+      graph_sol = std::move(tree_sol);
+  }
+  BisectionReport out =
+      finish(h, std::move(graph_sol.side), "theorem2-small-edges", true);
+  return out;
+}
+
+BisectionReport bisect_large_edges(const Hypergraph& h,
+                                   const Theorem1Options& options) {
+  Theorem1Options opts = options;
+  // Theorem 2: choose k = min hyperedge size for phase 1; phase 2's
+  // unbalanced cuts then act on fewer minority vertices than any hyperedge
+  // has pins, i.e. the MkU regime.
+  std::int32_t min_size = h.num_vertices();
+  for (ht::hypergraph::EdgeId e = 0; e < h.num_edges(); ++e)
+    min_size = std::min(min_size, h.edge_size(e));
+  opts.k_override = static_cast<double>(std::max(1, min_size));
+  BisectionReport out = bisect_theorem1(h, opts);
+  out.algorithm = "theorem2-large-edges";
+  return out;
+}
+
+BisectionReport bisect_via_cut_tree(const Hypergraph& h,
+                                    const CutTreeBisectionOptions& options) {
+  HT_CHECK(h.finalized());
+  const VertexId n = h.num_vertices();
+  HT_CHECK(n >= 2 && n % 2 == 0);
+  // Corollary 3: star expansion -> Section 3.1 vertex cut tree -> balanced
+  // tree DP over the original vertices only.
+  const auto star = ht::reduction::star_expansion(h);
+  ht::cuttree::VertexCutTreeOptions tree_options;
+  tree_options.seed = options.seed;
+  tree_options.alpha = options.alpha;
+  const auto tree_result =
+      ht::cuttree::build_vertex_cut_tree(star.graph, tree_options);
+  std::vector<ht::cuttree::VertexId> counted(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) counted[static_cast<std::size_t>(v)] = v;
+  const auto tree_bisection =
+      ht::cuttree::balanced_tree_bisection(tree_result.tree, counted);
+  HT_CHECK_MSG(tree_bisection.valid, "cut-tree bisection DP infeasible");
+  std::vector<bool> side(static_cast<std::size_t>(n), false);
+  for (std::size_t i = 0; i < counted.size(); ++i)
+    side[static_cast<std::size_t>(counted[i])] = tree_bisection.side[i];
+  BisectionReport out =
+      finish(h, std::move(side), "corollary3-cut-tree", options.fm_polish);
+  out.dp_estimate = tree_bisection.tree_cut;
+  return out;
+}
+
+Phase1Diagnostics phase1_diagnostics(const Hypergraph& h, double opt,
+                                     const std::vector<bool>& optimal_side,
+                                     double alpha, double k,
+                                     std::uint64_t seed) {
+  HT_CHECK(h.finalized());
+  const VertexId n = h.num_vertices();
+  HT_CHECK(optimal_side.size() == static_cast<std::size_t>(n));
+  const double nd = static_cast<double>(n);
+  if (alpha <= 0.0) alpha = std::sqrt(std::max(1.0, std::log2(nd + 1.0)));
+  if (k <= 0.0) k = std::max(1.0, std::sqrt(alpha * nd));
+  const double threshold = alpha * std::max(opt, 1e-9) / k;
+  ht::Rng rng(seed);
+  const Phase1Result p1 = phase1_peel(h, threshold, rng);
+
+  Phase1Diagnostics out;
+  out.pieces = static_cast<std::int32_t>(p1.pieces.size());
+  out.cut_weight = p1.cut_weight;
+  for (const auto& piece : p1.pieces) {
+    std::int64_t white = 0;
+    for (VertexId v : piece)
+      white += optimal_side[static_cast<std::size_t>(v)] ? 1 : 0;
+    const auto size = static_cast<std::int64_t>(piece.size());
+    out.minority_count += std::min(white, size - white);
+  }
+  out.lemma2_bound = alpha * nd * std::log2(nd + 1.0) * opt / k;
+  out.lemma3_bound = k;
+  return out;
+}
+
+BisectionReport bisect_fm_baseline(const Hypergraph& h, ht::Rng& rng,
+                                   int starts) {
+  BisectionSolution sol = ht::partition::fm_bisection(h, rng, starts);
+  BisectionReport out;
+  out.algorithm = "fm";
+  out.solution = std::move(sol);
+  return out;
+}
+
+BisectionReport bisect_random_baseline(const Hypergraph& h, ht::Rng& rng,
+                                       int samples) {
+  const VertexId n = h.num_vertices();
+  HT_CHECK(n % 2 == 0);
+  BisectionReport out;
+  out.algorithm = "random";
+  for (int s = 0; s < samples; ++s) {
+    std::vector<VertexId> perm(static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+    rng.shuffle(perm);
+    std::vector<bool> side(static_cast<std::size_t>(n), false);
+    for (VertexId i = 0; i < n / 2; ++i)
+      side[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = true;
+    const double cut = h.cut_weight(side);
+    if (!out.solution.valid || cut < out.solution.cut) {
+      out.solution.side = std::move(side);
+      out.solution.cut = cut;
+      out.solution.valid = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace ht::core

@@ -1,0 +1,193 @@
+#include "core/vertex_bisection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cuttree/tree_bisection.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "flow/min_cut.hpp"
+#include "lp/spectral.hpp"
+#include "util/subsets.hpp"
+
+namespace ht::core {
+
+using ht::graph::Graph;
+using ht::graph::VertexId;
+
+namespace {
+
+/// Turns a balanced side assignment (A0, B0) into a true vertex bisection:
+/// the minimum vertex cut gamma(A0, B0) is the separator; survivors keep
+/// their side. |A0| = |B0| = n/2 implies both final sides fit in n/2.
+VertexBisectionResult extract_from_sides(const Graph& g,
+                                         const std::vector<bool>& side,
+                                         std::string algorithm) {
+  std::vector<VertexId> a0, b0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    (side[static_cast<std::size_t>(v)] ? b0 : a0).push_back(v);
+  HT_CHECK(!a0.empty() && !b0.empty());
+  const auto cut = ht::flow::min_vertex_cut(g, a0, b0);
+  VertexBisectionResult out;
+  out.algorithm = std::move(algorithm);
+  std::vector<bool> in_cut(static_cast<std::size_t>(g.num_vertices()), false);
+  for (VertexId v : cut.cut_vertices) in_cut[static_cast<std::size_t>(v)] = true;
+  for (VertexId v : a0)
+    if (!in_cut[static_cast<std::size_t>(v)]) out.side_a.push_back(v);
+  for (VertexId v : b0)
+    if (!in_cut[static_cast<std::size_t>(v)]) out.side_b.push_back(v);
+  out.separator = cut.cut_vertices;
+  out.separator_weight = cut.value;
+  out.valid = true;
+  return out;
+}
+
+}  // namespace
+
+void validate_vertex_bisection(const Graph& g,
+                               const VertexBisectionResult& result) {
+  HT_CHECK(result.valid);
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<std::int8_t> role(n, -1);  // 0 A, 1 B, 2 X
+  auto mark = [&](const std::vector<VertexId>& set, std::int8_t r) {
+    for (VertexId v : set) {
+      HT_CHECK(0 <= v && v < g.num_vertices());
+      HT_CHECK_MSG(role[static_cast<std::size_t>(v)] == -1,
+                   "vertex " << v << " assigned twice");
+      role[static_cast<std::size_t>(v)] = r;
+    }
+  };
+  mark(result.side_a, 0);
+  mark(result.side_b, 1);
+  mark(result.separator, 2);
+  for (std::size_t v = 0; v < n; ++v)
+    HT_CHECK_MSG(role[v] != -1, "vertex " << v << " unassigned");
+  for (const auto& e : g.edges()) {
+    const auto ru = role[static_cast<std::size_t>(e.u)];
+    const auto rv = role[static_cast<std::size_t>(e.v)];
+    HT_CHECK_MSG(!((ru == 0 && rv == 1) || (ru == 1 && rv == 0)),
+                 "edge " << e.u << "-" << e.v << " crosses the bisection");
+  }
+  const std::size_t half = (n + 1) / 2;
+  HT_CHECK_MSG(result.side_a.size() <= half, "side A too large");
+  HT_CHECK_MSG(result.side_b.size() <= half, "side B too large");
+  double w = 0.0;
+  for (VertexId v : result.separator) w += g.vertex_weight(v);
+  HT_CHECK_MSG(std::fabs(w - result.separator_weight) <=
+                   1e-6 * (1.0 + std::fabs(w)),
+               "separator weight mismatch");
+}
+
+VertexBisectionResult exact_vertex_bisection(const Graph& g) {
+  HT_CHECK(g.finalized());
+  const int n = g.num_vertices();
+  HT_CHECK_MSG(n <= 18, "exact vertex bisection limited to n <= 18");
+  HT_CHECK(n >= 2);
+  const auto half = static_cast<std::size_t>((n + 1) / 2);
+  VertexBisectionResult best;
+  ht::for_each_subset(n, [&](std::uint32_t mask) {
+    double w = 0.0;
+    std::vector<bool> removed(static_cast<std::size_t>(n), false);
+    for (int v = 0; v < n; ++v) {
+      if (mask & (1u << v)) {
+        removed[static_cast<std::size_t>(v)] = true;
+        w += g.vertex_weight(v);
+      }
+    }
+    if (best.valid && w >= best.separator_weight) return;
+    auto [comp, count] = ht::graph::connected_components_excluding(g, removed);
+    // Sizes per component; subset-sum to find a grouping with both sides
+    // <= half.
+    std::vector<std::size_t> sizes(static_cast<std::size_t>(count), 0);
+    for (int v = 0; v < n; ++v)
+      if (comp[static_cast<std::size_t>(v)] >= 0)
+        ++sizes[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])];
+    const std::size_t total = static_cast<std::size_t>(n) -
+                              static_cast<std::size_t>(ht::popcount32(mask));
+    // reachable[s]: can a sub-collection of components sum to s?
+    std::vector<std::uint32_t> witness(total + 1, 0);
+    std::vector<bool> reachable(total + 1, false);
+    reachable[0] = true;
+    for (std::size_t c = 0; c < sizes.size(); ++c) {
+      for (std::size_t s = total + 1; s-- > 0;) {
+        if (!reachable[s]) continue;
+        const std::size_t t = s + sizes[c];
+        if (t <= total && !reachable[t]) {
+          reachable[t] = true;
+          witness[t] = witness[s] | (1u << c);
+        }
+      }
+    }
+    std::int64_t chosen_sum = -1;
+    for (std::size_t s = 0; s <= total; ++s) {
+      if (reachable[s] && s <= half && total - s <= half) {
+        chosen_sum = static_cast<std::int64_t>(s);
+        break;
+      }
+    }
+    if (chosen_sum < 0) return;
+    VertexBisectionResult cand;
+    const std::uint32_t group = witness[static_cast<std::size_t>(chosen_sum)];
+    for (int v = 0; v < n; ++v) {
+      if (removed[static_cast<std::size_t>(v)]) {
+        cand.separator.push_back(v);
+      } else if (group &
+                 (1u << comp[static_cast<std::size_t>(v)])) {
+        cand.side_a.push_back(v);
+      } else {
+        cand.side_b.push_back(v);
+      }
+    }
+    cand.separator_weight = w;
+    cand.algorithm = "exact";
+    cand.valid = true;
+    if (!best.valid || w < best.separator_weight) best = std::move(cand);
+  });
+  return best;
+}
+
+VertexBisectionResult vertex_bisection_via_cut_tree(
+    const Graph& g, const VertexBisectionOptions& options) {
+  HT_CHECK(g.finalized());
+  const VertexId n = g.num_vertices();
+  HT_CHECK(n >= 2 && n % 2 == 0);
+  ht::cuttree::VertexCutTreeOptions tree_options;
+  tree_options.seed = options.seed;
+  tree_options.alpha = options.alpha;
+  tree_options.threshold_override = options.threshold_override;
+  const auto built = ht::cuttree::build_vertex_cut_tree(g, tree_options);
+  std::vector<ht::cuttree::VertexId> counted(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) counted[static_cast<std::size_t>(v)] = v;
+  const auto dp = ht::cuttree::balanced_tree_bisection(built.tree, counted);
+  HT_CHECK_MSG(dp.valid, "balanced tree DP infeasible");
+  std::vector<bool> side(static_cast<std::size_t>(n), false);
+  for (std::size_t i = 0; i < counted.size(); ++i)
+    side[static_cast<std::size_t>(counted[i])] = dp.side[i];
+  VertexBisectionResult out =
+      extract_from_sides(g, side, "cut-tree");
+  // Domination sanity: the realized separator can never exceed the tree's
+  // DP objective (gamma_G <= gamma_T <= w(X_tree)).
+  HT_CHECK(out.separator_weight <= dp.tree_cut + 1e-6);
+  return out;
+}
+
+VertexBisectionResult vertex_bisection_spectral(const Graph& g,
+                                                ht::Rng& rng) {
+  HT_CHECK(g.finalized());
+  const VertexId n = g.num_vertices();
+  HT_CHECK(n >= 2 && n % 2 == 0);
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  if (g.num_edges() > 0) {
+    const auto fiedler = ht::lp::fiedler_vector(g, g.vertex_weights(), rng);
+    std::sort(order.begin(), order.end(), [&](VertexId l, VertexId r) {
+      return fiedler.vector[static_cast<std::size_t>(l)] <
+             fiedler.vector[static_cast<std::size_t>(r)];
+    });
+  }
+  std::vector<bool> side(static_cast<std::size_t>(n), false);
+  for (VertexId i = n / 2; i < n; ++i)
+    side[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = true;
+  return extract_from_sides(g, side, "spectral");
+}
+
+}  // namespace ht::core

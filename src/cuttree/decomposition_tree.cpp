@@ -1,0 +1,111 @@
+#include "cuttree/decomposition_tree.hpp"
+
+#include <algorithm>
+
+#include "hypergraph/hypergraph.hpp"
+#include "partition/sparsest_cut.hpp"
+
+namespace ht::cuttree {
+
+using ht::graph::Graph;
+
+namespace {
+
+/// Recursively emits the cluster below `parent_node` for `vertices`.
+void decompose(const Graph& g, const std::vector<VertexId>& vertices,
+               NodeId parent_node, Tree& tree,
+               const DecompositionOptions& options, ht::Rng& rng) {
+  if (static_cast<std::int32_t>(vertices.size()) <=
+      std::max(options.leaf_cluster_size, 1)) {
+    for (VertexId v : vertices) {
+      std::vector<bool> single(static_cast<std::size_t>(g.num_vertices()),
+                               false);
+      single[static_cast<std::size_t>(v)] = true;
+      const NodeId leaf =
+          tree.add_node(parent_node, 1.0, g.cut_weight(single));
+      tree.set_vertex_node(v, leaf);
+    }
+    return;
+  }
+  if (vertices.size() == 1) {
+    std::vector<bool> single(static_cast<std::size_t>(g.num_vertices()),
+                             false);
+    single[static_cast<std::size_t>(vertices[0])] = true;
+    const NodeId leaf = tree.add_node(parent_node, 1.0, g.cut_weight(single));
+    tree.set_vertex_node(vertices[0], leaf);
+    return;
+  }
+
+  // Split the cluster with the sparsest cut of its induced subgraph
+  // (wrapped 2-uniform so the hypergraph oracle applies).
+  const auto sub = ht::graph::induced_subgraph(g, vertices);
+  ht::hypergraph::Hypergraph wrapper(sub.graph.num_vertices());
+  for (const auto& e : sub.graph.edges())
+    wrapper.add_edge({e.u, e.v}, e.weight);
+  wrapper.finalize();
+
+  std::vector<std::vector<VertexId>> parts;
+  if (wrapper.num_edges() == 0) {
+    // Disconnected dust: every vertex its own part.
+    for (VertexId v : vertices) parts.push_back({v});
+  } else {
+    ht::partition::SparsestCutResult cut;
+    if (static_cast<std::int32_t>(vertices.size()) <= options.exact_limit) {
+      cut = ht::partition::sparsest_hyperedge_cut_exact(wrapper);
+    } else {
+      cut = ht::partition::sparsest_hyperedge_cut(wrapper, rng);
+    }
+    if (!cut.valid) {
+      // No split available (complete-graph-like): make all vertices leaves.
+      for (VertexId v : vertices) parts.push_back({v});
+    } else {
+      std::vector<bool> in_small(vertices.size(), false);
+      for (VertexId local : cut.smaller_side)
+        in_small[static_cast<std::size_t>(local)] = true;
+      std::vector<VertexId> small, large;
+      for (std::size_t i = 0; i < vertices.size(); ++i)
+        (in_small[i] ? small : large)
+            .push_back(sub.old_of_new[i]);
+      parts.push_back(std::move(small));
+      parts.push_back(std::move(large));
+    }
+  }
+
+  for (auto& part : parts) {
+    if (part.empty()) continue;
+    if (part.size() == 1) {
+      std::vector<bool> single(static_cast<std::size_t>(g.num_vertices()),
+                               false);
+      single[static_cast<std::size_t>(part[0])] = true;
+      const NodeId leaf =
+          tree.add_node(parent_node, 1.0, g.cut_weight(single));
+      tree.set_vertex_node(part[0], leaf);
+      continue;
+    }
+    std::vector<bool> side(static_cast<std::size_t>(g.num_vertices()), false);
+    for (VertexId v : part) side[static_cast<std::size_t>(v)] = true;
+    const NodeId cluster = tree.add_node(
+        parent_node, kInfiniteNodeWeight, g.cut_weight(side));
+    decompose(g, part, cluster, tree, options, rng);
+  }
+}
+
+}  // namespace
+
+Tree build_decomposition_tree(const Graph& g,
+                              const DecompositionOptions& options) {
+  HT_CHECK(g.finalized());
+  const VertexId n = g.num_vertices();
+  HT_CHECK(n >= 1);
+  Tree tree;
+  tree.reserve_vertices(n);
+  const NodeId root = tree.add_node(-1, kInfiniteNodeWeight);
+  std::vector<VertexId> all(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+  ht::Rng rng(options.seed);
+  decompose(g, all, root, tree, options, rng);
+  tree.validate();
+  return tree;
+}
+
+}  // namespace ht::cuttree

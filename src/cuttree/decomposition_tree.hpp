@@ -1,0 +1,39 @@
+// Laminar decomposition trees for graph edge cuts — the stand-in for the
+// Räcke decomposition trees [17] that the paper's Proposition 1 and the
+// graph-bisection black box consume.
+//
+// Construction: recursively split every cluster with the sparsest edge
+// cut (spectral sweep + local search; exact on small clusters), producing
+// a laminar family. Tree nodes are clusters, leaves are single vertices,
+// and the edge above a cluster C carries weight delta_G(C). The union
+// bound makes any such tree a *dominating* edge cut tree:
+// delta_T(A,B) >= delta_G(A,B) for all disjoint A, B; its measured quality
+// on graphs is polylogarithmic-ish (bench_graph_bisection charts it),
+// matching the regime where [17] proves O(log n).
+#pragma once
+
+#include <cstdint>
+
+#include "cuttree/tree.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ht::cuttree {
+
+struct DecompositionOptions {
+  std::uint64_t seed = 0x5eedULL;
+  /// Clusters of at most this size are split exactly.
+  std::int32_t exact_limit = 12;
+  /// Stop splitting clusters below this size (they become stars of
+  /// leaves). 1 = decompose fully.
+  std::int32_t leaf_cluster_size = 1;
+};
+
+/// Builds the decomposition tree of a finalized graph. Every original
+/// vertex is embedded as a leaf; internal nodes have weight
+/// kInfiniteNodeWeight (they are clusters, not vertices — only edges
+/// matter), and edge weights are the induced cuts delta_G(cluster).
+Tree build_decomposition_tree(const ht::graph::Graph& g,
+                              const DecompositionOptions& options = {});
+
+}  // namespace ht::cuttree

@@ -1,0 +1,70 @@
+#include "cuttree/dot.hpp"
+
+#include <ostream>
+
+#include "cuttree/tree.hpp"
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace ht {
+
+void write_dot(const ht::graph::Graph& g, std::ostream& os) {
+  os << "graph G {\n  node [shape=circle];\n";
+  for (ht::graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    os << "  v" << v;
+    if (g.vertex_weight(v) != 1.0)
+      os << " [label=\"" << v << "\\nw=" << g.vertex_weight(v) << "\"]";
+    os << ";\n";
+  }
+  for (const auto& e : g.edges()) {
+    os << "  v" << e.u << " -- v" << e.v;
+    if (e.weight != 1.0) os << " [label=\"" << e.weight << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_dot(const ht::hypergraph::Hypergraph& h, std::ostream& os) {
+  os << "graph H {\n  node [shape=circle];\n";
+  for (ht::hypergraph::VertexId v = 0; v < h.num_vertices(); ++v)
+    os << "  v" << v << ";\n";
+  for (ht::hypergraph::EdgeId e = 0; e < h.num_edges(); ++e) {
+    os << "  e" << e << " [shape=box";
+    if (h.edge_weight(e) != 1.0)
+      os << ", label=\"e" << e << "\\nw=" << h.edge_weight(e) << "\"";
+    os << "];\n";
+    for (ht::hypergraph::VertexId v : h.pins(e))
+      os << "  e" << e << " -- v" << v << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_dot(const ht::cuttree::Tree& t, std::ostream& os) {
+  os << "digraph T {\n  node [shape=ellipse];\n";
+  // Reverse map: node -> embedded vertices.
+  std::vector<std::vector<ht::cuttree::VertexId>> embedded(
+      static_cast<std::size_t>(t.num_nodes()));
+  for (ht::cuttree::VertexId v = 0; v < t.num_embedded_vertices(); ++v) {
+    const auto node = t.node_of_vertex(v);
+    if (node != -1) embedded[static_cast<std::size_t>(node)].push_back(v);
+  }
+  for (ht::cuttree::NodeId x = 0; x < t.num_nodes(); ++x) {
+    os << "  n" << x << " [label=\"";
+    if (t.node_weight(x) >= ht::cuttree::kInfiniteNodeWeight / 2) {
+      os << "inf";
+    } else {
+      os << "w=" << t.node_weight(x);
+    }
+    for (auto v : embedded[static_cast<std::size_t>(x)]) os << "\\nv" << v;
+    os << "\"];\n";
+    if (t.parent(x) != -1) {
+      os << "  n" << t.parent(x) << " -> n" << x;
+      if (t.edge_weight(x) != 0.0)
+        os << " [label=\"" << t.edge_weight(x) << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace ht

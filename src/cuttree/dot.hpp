@@ -1,0 +1,31 @@
+// Graphviz DOT export for graphs, hypergraphs and cut trees — debugging
+// and documentation aids (`dot -Tsvg`).
+#pragma once
+
+#include <iosfwd>
+
+namespace ht::graph {
+class Graph;
+}
+namespace ht::hypergraph {
+class Hypergraph;
+}
+namespace ht::cuttree {
+class Tree;
+}
+
+namespace ht {
+
+/// Undirected graph; edge labels show non-unit weights, node labels show
+/// non-unit vertex weights.
+void write_dot(const ht::graph::Graph& g, std::ostream& os);
+
+/// Hypergraph in its bipartite (star-expansion) drawing: round vertex
+/// nodes, square hyperedge nodes.
+void write_dot(const ht::hypergraph::Hypergraph& h, std::ostream& os);
+
+/// Cut tree: node weights and parent-edge weights as labels; embedded
+/// vertices annotated on their nodes.
+void write_dot(const ht::cuttree::Tree& t, std::ostream& os);
+
+}  // namespace ht

@@ -1,0 +1,146 @@
+#include "cuttree/edge_cut_trees.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "flow/gomory_hu.hpp"
+#include "reduction/clique_expansion.hpp"
+#include "util/check.hpp"
+
+namespace ht::cuttree {
+
+Tree star_topology(VertexId n) {
+  HT_CHECK(n >= 1);
+  Tree t;
+  t.reserve_vertices(n);
+  const NodeId root = t.add_node(-1, 1.0);
+  for (VertexId v = 0; v < n; ++v) {
+    const NodeId leaf = t.add_node(root, 1.0, 1.0);
+    t.set_vertex_node(v, leaf);
+  }
+  t.validate();
+  return t;
+}
+
+Tree path_topology(const std::vector<VertexId>& order) {
+  HT_CHECK(!order.empty());
+  const auto n = static_cast<VertexId>(order.size());
+  Tree t;
+  t.reserve_vertices(n);
+  NodeId chain = t.add_node(-1, 1.0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const NodeId leaf = t.add_node(chain, 1.0, 1.0);
+    t.set_vertex_node(order[i], leaf);
+    if (i + 1 < order.size()) chain = t.add_node(chain, 1.0, 1.0);
+  }
+  t.validate();
+  return t;
+}
+
+Tree balanced_binary_topology(const std::vector<VertexId>& order) {
+  HT_CHECK(!order.empty());
+  const auto n = static_cast<VertexId>(order.size());
+  Tree t;
+  t.reserve_vertices(n);
+  const NodeId root = t.add_node(-1, 1.0);
+  // Recursive split of [lo, hi) below `parent`.
+  std::function<void(NodeId, std::size_t, std::size_t)> build =
+      [&](NodeId parent, std::size_t lo, std::size_t hi) {
+        if (hi - lo == 1) {
+          const NodeId leaf = t.add_node(parent, 1.0, 1.0);
+          t.set_vertex_node(order[lo], leaf);
+          return;
+        }
+        const std::size_t mid = lo + (hi - lo) / 2;
+        const NodeId left = t.add_node(parent, 1.0, 1.0);
+        const NodeId right = t.add_node(parent, 1.0, 1.0);
+        build(left, lo, mid);
+        build(right, mid, hi);
+      };
+  build(root, 0, order.size());
+  t.validate();
+  return t;
+}
+
+Tree random_topology(VertexId n, ht::Rng& rng) {
+  HT_CHECK(n >= 1);
+  Tree t;
+  t.reserve_vertices(n);
+  std::vector<NodeId> internal{t.add_node(-1, 1.0)};
+  // Grow a random internal skeleton of ~n/2 nodes, then hang leaves.
+  const VertexId skeleton = std::max<VertexId>(1, n / 2);
+  for (VertexId i = 1; i < skeleton; ++i) {
+    const NodeId parent = internal[static_cast<std::size_t>(
+        rng.next_below(internal.size()))];
+    internal.push_back(t.add_node(parent, 1.0, 1.0));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const NodeId parent = internal[static_cast<std::size_t>(
+        rng.next_below(internal.size()))];
+    const NodeId leaf = t.add_node(parent, 1.0, 1.0);
+    t.set_vertex_node(v, leaf);
+  }
+  t.validate();
+  return t;
+}
+
+Tree gomory_hu_topology(const ht::hypergraph::Hypergraph& h) {
+  const ht::graph::Graph expansion = ht::reduction::clique_expansion(h);
+  HT_CHECK(ht::graph::is_connected(expansion));
+  const auto gh = ht::flow::gomory_hu(expansion);
+  const auto gh_graph = gh.as_graph();
+  // Convert the parent structure into a Tree (ids re-ordered so parents
+  // precede children).
+  const VertexId n = h.num_vertices();
+  Tree t;
+  t.reserve_vertices(n);
+  std::vector<NodeId> node_of(static_cast<std::size_t>(n), -1);
+  std::vector<VertexId> stack{gh.root};
+  node_of[static_cast<std::size_t>(gh.root)] = t.add_node(-1, 1.0);
+  t.set_vertex_node(gh.root, node_of[static_cast<std::size_t>(gh.root)]);
+  // BFS over children links derived from the parent array.
+  std::vector<std::vector<VertexId>> kids(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v)
+    if (gh.parent[static_cast<std::size_t>(v)] != -1)
+      kids[static_cast<std::size_t>(gh.parent[static_cast<std::size_t>(v)])]
+          .push_back(v);
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId c : kids[static_cast<std::size_t>(v)]) {
+      node_of[static_cast<std::size_t>(c)] =
+          t.add_node(node_of[static_cast<std::size_t>(v)], 1.0,
+                     gh.parent_cut[static_cast<std::size_t>(c)]);
+      t.set_vertex_node(c, node_of[static_cast<std::size_t>(c)]);
+      stack.push_back(c);
+    }
+  }
+  t.validate();
+  return t;
+}
+
+void assign_induced_weights(const ht::hypergraph::Hypergraph& h, Tree& tree) {
+  const NodeId n = tree.num_nodes();
+  // Leaf sets via child-before-parent accumulation: collect embedded
+  // vertices per node, then fold upward.
+  std::vector<std::vector<VertexId>> below(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < tree.num_embedded_vertices(); ++v) {
+    const NodeId node = tree.node_of_vertex(v);
+    if (node != -1) below[static_cast<std::size_t>(node)].push_back(v);
+  }
+  for (NodeId v = n - 1; v > 0; --v) {
+    // delta_H of the embedded vertices below v (inclusive).
+    const auto& set = below[static_cast<std::size_t>(v)];
+    double weight = 0.0;
+    if (!set.empty() &&
+        set.size() < static_cast<std::size_t>(h.num_vertices())) {
+      weight = h.cut_weight(set);
+    }
+    tree.set_edge_weight(v, weight);
+    const NodeId p = tree.parent(v);
+    auto& up = below[static_cast<std::size_t>(p)];
+    up.insert(up.end(), set.begin(), set.end());
+  }
+}
+
+}  // namespace ht::cuttree

@@ -1,0 +1,40 @@
+// Edge cut tree candidates for hypergraphs (Theorem 6's adversaries).
+//
+// Theorem 6 proves that NO edge cut tree achieves quality o(n) for
+// hypergraph cuts. We cannot quantify over all trees, so the bench
+// evaluates the natural candidates a practitioner would try: star, path
+// (in spectral order), balanced binary, random topologies, and the
+// Gomory–Hu tree of the clique expansion. Each topology gets the
+// domination-correct "induced" edge weights: the weight of tree edge
+// (c, parent(c)) is delta_H(L_c) where L_c is the set of embedded vertices
+// below c — the union bound makes any such tree dominating.
+#pragma once
+
+#include "cuttree/tree.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace ht::cuttree {
+
+/// Star: one auxiliary root, every vertex a leaf.
+Tree star_topology(VertexId n);
+
+/// Path over the vertices in the given order (auxiliary chain nodes with
+/// vertices hanging off, so vertices are leaves as in the paper's setup).
+Tree path_topology(const std::vector<VertexId>& order);
+
+/// Balanced binary tree with the vertices (in the given order) as leaves.
+Tree balanced_binary_topology(const std::vector<VertexId>& order);
+
+/// Random recursive tree: vertex leaves attached under random internal
+/// nodes.
+Tree random_topology(VertexId n, ht::Rng& rng);
+
+/// Gomory–Hu tree of the clique expansion of h, re-rooted and converted.
+Tree gomory_hu_topology(const ht::hypergraph::Hypergraph& h);
+
+/// Sets every parent-edge weight to delta_H(leaves below the edge); this
+/// makes the tree a dominating edge cut tree of h (union bound).
+void assign_induced_weights(const ht::hypergraph::Hypergraph& h, Tree& tree);
+
+}  // namespace ht::cuttree

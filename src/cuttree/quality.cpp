@@ -1,0 +1,128 @@
+#include "cuttree/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/min_cut.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ht::cuttree {
+
+namespace {
+
+constexpr double kDominationTolerance = 1e-6;
+
+QualityReport aggregate_ratios(const std::vector<double>& tree_values,
+                               const std::vector<double>& graph_values) {
+  HT_CHECK(tree_values.size() == graph_values.size());
+  QualityReport out;
+  double sum = 0.0;
+  std::size_t used = 0;
+  out.min_ratio = 1e300;
+  for (std::size_t i = 0; i < tree_values.size(); ++i) {
+    const double gv = graph_values[i];
+    const double tv = tree_values[i];
+    if (gv <= 0.0) {
+      // Zero graph cut: domination only requires tv >= 0; ratio undefined.
+      continue;
+    }
+    const double ratio = tv / gv;
+    out.max_ratio = std::max(out.max_ratio, ratio);
+    out.min_ratio = std::min(out.min_ratio, ratio);
+    sum += ratio;
+    ++used;
+  }
+  out.pairs = used;
+  out.mean_ratio = used > 0 ? sum / static_cast<double>(used) : 0.0;
+  out.dominating = out.min_ratio >= 1.0 - kDominationTolerance;
+  if (used == 0) out.min_ratio = 0.0;
+  return out;
+}
+
+}  // namespace
+
+QualityReport vertex_cut_tree_quality(const ht::graph::Graph& g,
+                                      const Tree& tree,
+                                      const std::vector<VertexPair>& pairs) {
+  std::vector<double> tv(pairs.size()), gv(pairs.size());
+  ht::parallel_for(pairs.size(), [&](std::size_t i) {
+    const auto& [a, b] = pairs[i];
+    gv[i] = ht::flow::min_vertex_cut(g, a, b).value;
+    tv[i] = tree_vertex_cut_flow(tree, a, b);
+  });
+  return aggregate_ratios(tv, gv);
+}
+
+QualityReport hypergraph_cut_tree_quality(
+    const ht::hypergraph::Hypergraph& h, const Tree& tree,
+    const std::vector<VertexPair>& pairs) {
+  std::vector<double> tv(pairs.size()), gv(pairs.size());
+  ht::parallel_for(pairs.size(), [&](std::size_t i) {
+    const auto& [a, b] = pairs[i];
+    gv[i] = ht::flow::min_hyperedge_cut(h, a, b).value;
+    tv[i] = tree_vertex_cut_flow(tree, a, b);
+  });
+  return aggregate_ratios(tv, gv);
+}
+
+ScaledQualityReport edge_cut_tree_quality(
+    const ht::hypergraph::Hypergraph& h, const Tree& tree,
+    const std::vector<VertexPair>& pairs) {
+  std::vector<double> tv(pairs.size()), gv(pairs.size());
+  ht::parallel_for(pairs.size(), [&](std::size_t i) {
+    const auto& [a, b] = pairs[i];
+    gv[i] = ht::flow::min_hyperedge_cut(h, a, b).value;
+    tv[i] = tree_edge_cut_dp(tree, a, b);
+  });
+  ScaledQualityReport out;
+  double max_over = 0.0;   // delta_T / delta_H
+  double max_under = 0.0;  // delta_H / delta_T
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (gv[i] <= 0.0 || tv[i] <= 0.0) continue;
+    max_over = std::max(max_over, tv[i] / gv[i]);
+    max_under = std::max(max_under, gv[i] / tv[i]);
+    ++used;
+  }
+  out.pairs = used;
+  // A tree that already dominates (max_under <= 1) needs no rescaling —
+  // scaling below 1 would wrongly shrink the measured quality.
+  out.scale = std::max(1.0, max_under);
+  out.quality = max_over * out.scale;
+  return out;
+}
+
+std::vector<VertexPair> all_singleton_pairs(VertexId n) {
+  std::vector<VertexPair> out;
+  out.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1) /
+              2);
+  for (VertexId s = 0; s < n; ++s)
+    for (VertexId t = s + 1; t < n; ++t)
+      out.push_back({{s}, {t}});
+  return out;
+}
+
+std::vector<VertexPair> random_set_pairs(VertexId n, std::size_t count,
+                                         VertexId max_size, ht::Rng& rng) {
+  HT_CHECK(n >= 2);
+  max_size = std::min<VertexId>(max_size, n / 2);
+  max_size = std::max<VertexId>(max_size, 1);
+  std::vector<VertexPair> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto size_a = static_cast<VertexId>(
+        1 + rng.next_below(static_cast<std::uint64_t>(max_size)));
+    const auto size_b = static_cast<VertexId>(
+        1 + rng.next_below(static_cast<std::uint64_t>(max_size)));
+    auto both = rng.sample_without_replacement(n, size_a + size_b);
+    rng.shuffle(both);
+    VertexPair pair;
+    pair.first.assign(both.begin(), both.begin() + size_a);
+    pair.second.assign(both.begin() + size_a, both.end());
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+}  // namespace ht::cuttree

@@ -1,0 +1,63 @@
+// Cut-tree quality evaluation.
+//
+// Quality of a dominating cut tree T for G is the smallest alpha with
+// cut_G(A,B) <= cut_T(A,B) <= alpha * cut_G(A,B) over all disjoint A,B.
+// Exact evaluation is exponential; we measure over pair families: all
+// singleton pairs, random sampled set pairs, and the adversarial families
+// from the paper's lower-bound proofs (supplied by the benches).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cuttree/tree.hpp"
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace ht::cuttree {
+
+using VertexPair =
+    std::pair<std::vector<VertexId>, std::vector<VertexId>>;
+
+struct QualityReport {
+  double max_ratio = 0.0;   // worst tree/graph ratio — the measured quality
+  double min_ratio = 0.0;   // < 1 would falsify domination
+  double mean_ratio = 0.0;
+  std::size_t pairs = 0;
+  bool dominating = true;   // min_ratio >= 1 - tolerance
+};
+
+/// gamma_T vs gamma_G over the given pairs (vertex cuts in a graph).
+QualityReport vertex_cut_tree_quality(const ht::graph::Graph& g,
+                                      const Tree& tree,
+                                      const std::vector<VertexPair>& pairs);
+
+/// gamma_T vs delta_H over the given pairs: T is a vertex cut tree of the
+/// star expansion of h, pairs are over hypergraph vertices (Lemma 7 makes
+/// the comparison meaningful).
+QualityReport hypergraph_cut_tree_quality(
+    const ht::hypergraph::Hypergraph& h, const Tree& tree,
+    const std::vector<VertexPair>& pairs);
+
+struct ScaledQualityReport {
+  double quality = 0.0;  // max(delta_T/delta_H) * max(delta_H/delta_T)
+  double scale = 0.0;    // the domination-restoring scale factor
+  std::size_t pairs = 0;
+};
+
+/// delta_T vs delta_H for an *edge* cut tree, with the minimal scaling
+/// that restores domination over the measured pairs (Theorem 6 evaluation).
+ScaledQualityReport edge_cut_tree_quality(
+    const ht::hypergraph::Hypergraph& h, const Tree& tree,
+    const std::vector<VertexPair>& pairs);
+
+/// All n*(n-1)/2 singleton pairs ({s},{t}).
+std::vector<VertexPair> all_singleton_pairs(VertexId n);
+
+/// `count` random disjoint pairs of sets, each of size in [1, max_size].
+std::vector<VertexPair> random_set_pairs(VertexId n, std::size_t count,
+                                         VertexId max_size, ht::Rng& rng);
+
+}  // namespace ht::cuttree

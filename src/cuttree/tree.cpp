@@ -1,0 +1,163 @@
+#include "cuttree/tree.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "flow/min_cut.hpp"
+#include "util/check.hpp"
+
+namespace ht::cuttree {
+
+NodeId Tree::add_node(NodeId parent, double node_weight, double edge_weight) {
+  if (parent == -1) {
+    HT_CHECK_MSG(parent_.empty(), "tree already has a root");
+  } else {
+    HT_CHECK(0 <= parent && parent < num_nodes());
+  }
+  parent_.push_back(parent);
+  children_.emplace_back();
+  node_weight_.push_back(node_weight);
+  edge_weight_.push_back(edge_weight);
+  const auto id = static_cast<NodeId>(parent_.size() - 1);
+  if (parent != -1) children_[static_cast<std::size_t>(parent)].push_back(id);
+  return id;
+}
+
+void Tree::set_vertex_node(VertexId vertex, NodeId node) {
+  HT_CHECK(0 <= vertex &&
+           vertex < static_cast<VertexId>(vertex_node_.size()));
+  HT_CHECK(0 <= node && node < num_nodes());
+  vertex_node_[static_cast<std::size_t>(vertex)] = node;
+}
+
+ht::graph::Graph Tree::as_graph() const {
+  ht::graph::Graph g(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    g.set_vertex_weight(v, node_weight(v));
+    if (parent(v) != -1) g.add_edge(v, parent(v), edge_weight(v));
+  }
+  g.finalize();
+  return g;
+}
+
+void Tree::validate() const {
+  HT_CHECK(num_nodes() >= 1);
+  NodeId roots = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (parent(v) == -1) {
+      ++roots;
+      HT_CHECK(v == root_);
+    } else {
+      HT_CHECK_MSG(parent(v) < v, "parents must precede children");
+    }
+  }
+  HT_CHECK(roots == 1);
+  for (std::size_t v = 0; v < vertex_node_.size(); ++v) {
+    HT_CHECK_MSG(vertex_node_[v] != -1,
+                 "vertex " << v << " not embedded in the tree");
+  }
+}
+
+namespace {
+
+/// Post-order traversal of the tree (children before parents). Because
+/// add_node enforces parent < child, a reverse id scan is a post-order.
+struct Terminals {
+  std::vector<std::int8_t> mark;  // 0 none, 1 A, 2 B
+};
+
+Terminals mark_terminals(const Tree& t, const std::vector<VertexId>& a,
+                         const std::vector<VertexId>& b) {
+  Terminals out;
+  out.mark.assign(static_cast<std::size_t>(t.num_nodes()), 0);
+  for (VertexId v : a) {
+    const NodeId node = t.node_of_vertex(v);
+    HT_CHECK(node != -1);
+    out.mark[static_cast<std::size_t>(node)] = 1;
+  }
+  for (VertexId v : b) {
+    const NodeId node = t.node_of_vertex(v);
+    HT_CHECK(node != -1);
+    HT_CHECK_MSG(out.mark[static_cast<std::size_t>(node)] != 1,
+                 "A and B map to the same tree node");
+    out.mark[static_cast<std::size_t>(node)] = 2;
+  }
+  return out;
+}
+
+constexpr double kUnreachable = 1e200;
+
+}  // namespace
+
+double tree_vertex_cut_flow(const Tree& t, const std::vector<VertexId>& a,
+                            const std::vector<VertexId>& b) {
+  const ht::graph::Graph g = t.as_graph();
+  std::vector<ht::graph::VertexId> na, nb;
+  for (VertexId v : a) na.push_back(t.node_of_vertex(v));
+  for (VertexId v : b) nb.push_back(t.node_of_vertex(v));
+  std::sort(na.begin(), na.end());
+  na.erase(std::unique(na.begin(), na.end()), na.end());
+  std::sort(nb.begin(), nb.end());
+  nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+  return ht::flow::min_vertex_cut(g, na, nb).value;
+}
+
+double tree_vertex_cut_dp(const Tree& t, const std::vector<VertexId>& a,
+                          const std::vector<VertexId>& b) {
+  // States: 0 = node in cut, 1 = exposed to A, 2 = exposed to B,
+  // 3 = neutral (component touches neither terminal set).
+  const Terminals terminals = mark_terminals(t, a, b);
+  const NodeId n = t.num_nodes();
+  std::vector<std::array<double, 4>> dp(static_cast<std::size_t>(n));
+  for (NodeId v = n - 1; v >= 0; --v) {
+    const auto idx = static_cast<std::size_t>(v);
+    const std::int8_t own = terminals.mark[idx];
+    auto& d = dp[idx];
+    d[0] = t.node_weight(v);
+    d[1] = own == 2 ? kUnreachable : 0.0;
+    d[2] = own == 1 ? kUnreachable : 0.0;
+    d[3] = own != 0 ? kUnreachable : 0.0;
+    for (NodeId c : t.children(v)) {
+      const auto& dc = dp[static_cast<std::size_t>(c)];
+      const double child_any =
+          std::min(std::min(dc[0], dc[1]), std::min(dc[2], dc[3]));
+      d[0] += child_any;
+      // Exposed-A parent: child may be cut, exposed-A or neutral.
+      d[1] += std::min(dc[0], std::min(dc[1], dc[3]));
+      d[2] += std::min(dc[0], std::min(dc[2], dc[3]));
+      d[3] += std::min(dc[0], dc[3]);
+      for (double& x : d) x = std::min(x, kUnreachable);
+    }
+  }
+  const auto& r = dp[static_cast<std::size_t>(t.root())];
+  return std::min(std::min(r[0], r[1]), std::min(r[2], r[3]));
+}
+
+double tree_edge_cut_dp(const Tree& t, const std::vector<VertexId>& a,
+                        const std::vector<VertexId>& b) {
+  // States: 0 = component of v touches A, 1 = touches B, 2 = neutral.
+  const Terminals terminals = mark_terminals(t, a, b);
+  const NodeId n = t.num_nodes();
+  std::vector<std::array<double, 3>> dp(static_cast<std::size_t>(n));
+  for (NodeId v = n - 1; v >= 0; --v) {
+    const auto idx = static_cast<std::size_t>(v);
+    const std::int8_t own = terminals.mark[idx];
+    auto& d = dp[idx];
+    d[0] = own == 2 ? kUnreachable : 0.0;
+    d[1] = own == 1 ? kUnreachable : 0.0;
+    d[2] = own != 0 ? kUnreachable : 0.0;
+    for (NodeId c : t.children(v)) {
+      const auto& dc = dp[static_cast<std::size_t>(c)];
+      const double cut_child =
+          t.edge_weight(c) + std::min(std::min(dc[0], dc[1]), dc[2]);
+      d[0] += std::min(cut_child, std::min(dc[0], dc[2]));
+      d[1] += std::min(cut_child, std::min(dc[1], dc[2]));
+      d[2] += std::min(cut_child, dc[2]);
+      for (double& x : d) x = std::min(x, kUnreachable);
+    }
+  }
+  const auto& r = dp[static_cast<std::size_t>(t.root())];
+  return std::min(std::min(r[0], r[1]), r[2]);
+}
+
+}  // namespace ht::cuttree

@@ -1,0 +1,99 @@
+// Rooted trees used as cut sparsifiers.
+//
+// A Tree carries both node weights (vertex cut trees, Section 3.1) and
+// parent-edge weights (edge cut trees, Theorem 6 / Gomory–Hu), plus the
+// embedding map from original (hyper)graph vertices to tree nodes
+// (V ⊆ V_T). gamma_T and delta_T are computed two independent ways — flow
+// on the tree-as-graph and a direct tree DP — which cross-check each other
+// in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ht::cuttree {
+
+using NodeId = std::int32_t;
+using VertexId = std::int32_t;
+
+/// Stand-in for "infinite" node weight: far above any finite weight sum in
+/// our instances but far below the flow solver's own infinity, so infinite
+/// nodes are never selected into minimum cuts yet arithmetic stays finite.
+inline constexpr double kInfiniteNodeWeight = 1e15;
+
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Adds a node. The first call must pass parent == -1 and creates the
+  /// root; all later nodes attach below an existing node.
+  NodeId add_node(NodeId parent, double node_weight, double edge_weight = 0.0);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(parent_.size()); }
+  NodeId root() const { return root_; }
+  NodeId parent(NodeId v) const { return parent_[static_cast<std::size_t>(v)]; }
+  const std::vector<NodeId>& children(NodeId v) const {
+    return children_[static_cast<std::size_t>(v)];
+  }
+
+  double node_weight(NodeId v) const {
+    return node_weight_[static_cast<std::size_t>(v)];
+  }
+  void set_node_weight(NodeId v, double w) {
+    node_weight_[static_cast<std::size_t>(v)] = w;
+  }
+  /// Weight of the edge between v and parent(v); unused at the root.
+  double edge_weight(NodeId v) const {
+    return edge_weight_[static_cast<std::size_t>(v)];
+  }
+  void set_edge_weight(NodeId v, double w) {
+    edge_weight_[static_cast<std::size_t>(v)] = w;
+  }
+
+  /// Maps original vertex ids to tree nodes. Must be set by the builder;
+  /// node_of_vertex(v) == -1 means v is not embedded.
+  void set_vertex_node(VertexId vertex, NodeId node);
+  NodeId node_of_vertex(VertexId vertex) const {
+    return vertex_node_[static_cast<std::size_t>(vertex)];
+  }
+  VertexId num_embedded_vertices() const {
+    return static_cast<VertexId>(vertex_node_.size());
+  }
+  void reserve_vertices(VertexId count) {
+    vertex_node_.assign(static_cast<std::size_t>(count), -1);
+  }
+
+  /// The tree as an undirected Graph (node weights copied; edge weights
+  /// from parent-edge weights).
+  ht::graph::Graph as_graph() const;
+
+  /// Consistency check: exactly one root, parent links acyclic, every
+  /// embedded vertex maps to a valid node.
+  void validate() const;
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<double> node_weight_;
+  std::vector<double> edge_weight_;
+  std::vector<NodeId> vertex_node_;
+  NodeId root_ = 0;
+};
+
+/// gamma_T(A, B): minimum node-weight cut separating the tree nodes of A
+/// from those of B (nodes of A/B may themselves be chosen). Computed by
+/// max-flow on the tree graph. A and B are original vertex ids.
+double tree_vertex_cut_flow(const Tree& t, const std::vector<VertexId>& a,
+                            const std::vector<VertexId>& b);
+
+/// Same value via an exact O(|T|) tree DP — the independent cross-check.
+double tree_vertex_cut_dp(const Tree& t, const std::vector<VertexId>& a,
+                          const std::vector<VertexId>& b);
+
+/// delta_T(A, B): minimum parent-edge-weight cut separating A from B.
+double tree_edge_cut_dp(const Tree& t, const std::vector<VertexId>& a,
+                        const std::vector<VertexId>& b);
+
+}  // namespace ht::cuttree

@@ -1,0 +1,34 @@
+// Corollary 3's tree dynamic program: minimum-weight vertex cut X in a cut
+// tree T such that the remaining components can be two-colored with exactly
+// half of the designated "real" vertices on each side.
+//
+// For hypergraph bisection the tree is the Section 3.1 vertex cut tree of
+// the star expansion; only original hypergraph vertices count toward
+// balance, and hyperedge nodes are free. Vertices embedded at cut nodes are
+// side-free (they are already paid for), mirroring the amortization in the
+// paper's analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cuttree/tree.hpp"
+
+namespace ht::cuttree {
+
+struct TreeBisectionResult {
+  /// Side assignment per counted vertex index (position in
+  /// `counted_vertices`), true = side 1. Exactly half on each side.
+  std::vector<bool> side;
+  double tree_cut = 0.0;  // w(X), the DP objective
+  bool valid = false;
+};
+
+/// Computes the balanced tree cut. `counted_vertices` are original vertex
+/// ids embedded in the tree whose count must split n/2–n/2 (size must be
+/// even). Runs in O(|T| * |counted|^2 / subtree pruning) — fine for the
+/// few-hundred-vertex instances the benches use.
+TreeBisectionResult balanced_tree_bisection(
+    const Tree& t, const std::vector<VertexId>& counted_vertices);
+
+}  // namespace ht::cuttree

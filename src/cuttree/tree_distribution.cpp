@@ -1,0 +1,93 @@
+#include "cuttree/tree_distribution.hpp"
+
+#include <algorithm>
+
+#include "flow/min_cut.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ht::cuttree {
+
+TreeDistribution build_tree_distribution(const ht::graph::Graph& g,
+                                         std::int32_t count,
+                                         std::uint64_t seed) {
+  HT_CHECK(count >= 1);
+  TreeDistribution out;
+  out.trees.reserve(static_cast<std::size_t>(count));
+  // Vary both the seed (randomized oracle decisions) and the stopping
+  // threshold (coarse vs fine decompositions) so the trees err in
+  // different directions.
+  const double thresholds[] = {0.0, 0.05, 0.12, 0.25, 0.4};
+  for (std::int32_t i = 0; i < count; ++i) {
+    VertexCutTreeOptions options;
+    options.seed = seed + static_cast<std::uint64_t>(i) * 7919;
+    const double t = thresholds[static_cast<std::size_t>(i) %
+                                (sizeof thresholds / sizeof thresholds[0])];
+    if (t > 0.0) options.threshold_override = t;
+    out.trees.push_back(build_vertex_cut_tree(g, options).tree);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename GraphCut>
+DistributionQualityReport evaluate(const TreeDistribution& distribution,
+                                   const std::vector<VertexPair>& pairs,
+                                   GraphCut&& graph_cut) {
+  DistributionQualityReport out;
+  const std::size_t trees = distribution.trees.size();
+  HT_CHECK(trees >= 1);
+  std::vector<double> base(pairs.size());
+  std::vector<std::vector<double>> tree_values(
+      trees, std::vector<double>(pairs.size()));
+  ht::parallel_for(pairs.size(), [&](std::size_t i) {
+    base[i] = graph_cut(pairs[i]);
+    for (std::size_t t = 0; t < trees; ++t) {
+      tree_values[t][i] = tree_vertex_cut_flow(
+          distribution.trees[t], pairs[i].first, pairs[i].second);
+    }
+  });
+  std::size_t used = 0;
+  double best_single = 1e300;
+  for (std::size_t t = 0; t < trees; ++t) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (base[i] <= 0.0) continue;
+      worst = std::max(worst, tree_values[t][i] / base[i]);
+    }
+    best_single = std::min(best_single, worst);
+  }
+  double avg_worst = 0.0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (base[i] <= 0.0) continue;
+    double sum = 0.0;
+    for (std::size_t t = 0; t < trees; ++t) sum += tree_values[t][i];
+    avg_worst = std::max(avg_worst,
+                         sum / static_cast<double>(trees) / base[i]);
+    ++used;
+  }
+  out.single_best = best_single;
+  out.average_max = avg_worst;
+  out.pairs = used;
+  return out;
+}
+
+}  // namespace
+
+DistributionQualityReport distribution_quality(
+    const ht::graph::Graph& g, const TreeDistribution& distribution,
+    const std::vector<VertexPair>& pairs) {
+  return evaluate(distribution, pairs, [&](const VertexPair& p) {
+    return ht::flow::min_vertex_cut(g, p.first, p.second).value;
+  });
+}
+
+DistributionQualityReport distribution_quality_hypergraph(
+    const ht::hypergraph::Hypergraph& h, const TreeDistribution& distribution,
+    const std::vector<VertexPair>& pairs) {
+  return evaluate(distribution, pairs, [&](const VertexPair& p) {
+    return ht::flow::min_hyperedge_cut(h, p.first, p.second).value;
+  });
+}
+
+}  // namespace ht::cuttree

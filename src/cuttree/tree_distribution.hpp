@@ -1,0 +1,53 @@
+// Distributions over cut trees.
+//
+// The paper's lower bounds (Theorems 7/8, Lemma 8) hold for a SINGLE tree;
+// it explicitly contrasts this with the stronger notion of a convex
+// combination of trees used for graphs [17], while noting that for graphs
+// even a single tree achieves polylog quality [9, 16]. This module builds
+// a (uniform) distribution of Section 3.1 trees — varying seeds and
+// stopping thresholds — and evaluates the distribution quality
+//
+//     max over pairs of  E_T[cut_T(A,B)] / cut_G(A,B),
+//
+// so bench_tree_distribution can measure how much averaging helps on
+// graphs versus on the paper's hypergraph lower-bound instances (answer,
+// per the paper: it cannot break the sqrt(n) barrier there).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cuttree/quality.hpp"
+#include "cuttree/tree.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace ht::cuttree {
+
+struct TreeDistribution {
+  std::vector<Tree> trees;  // uniform weights
+};
+
+/// Builds `count` Section 3.1 trees with varied seeds and thresholds.
+TreeDistribution build_tree_distribution(const ht::graph::Graph& g,
+                                         std::int32_t count,
+                                         std::uint64_t seed = 0x5eedULL);
+
+struct DistributionQualityReport {
+  double single_best = 0.0;   // best single tree's max ratio
+  double average_max = 0.0;   // max over pairs of the averaged ratio
+  std::size_t pairs = 0;
+};
+
+/// Vertex-cut quality of the distribution against gamma_G.
+DistributionQualityReport distribution_quality(
+    const ht::graph::Graph& g, const TreeDistribution& distribution,
+    const std::vector<VertexPair>& pairs);
+
+/// Hypergraph-cut quality against delta_H (trees over the star expansion).
+DistributionQualityReport distribution_quality_hypergraph(
+    const ht::hypergraph::Hypergraph& h, const TreeDistribution& distribution,
+    const std::vector<VertexPair>& pairs);
+
+}  // namespace ht::cuttree

@@ -1,0 +1,38 @@
+// Balanced partitioning DPs on *edge-weighted* trees.
+//
+// This is the machinery the paper's cited graph results run on top of a
+// decomposition tree: solve the partitioning problem exactly ON THE TREE
+// (a DP), then read the leaf assignment back as a partition of the graph;
+// the tree's quality bounds the loss. We provide the two instantiations
+// the paper's pipelines consume:
+//   * balanced bisection (minimum tree-edge cut with exactly half the
+//     designated leaves on each side) — the [17]-style graph bisection;
+//   * unbalanced k-cut (exactly k designated leaves on side 1) — the
+//     subroutine of Proposition 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cuttree/tree.hpp"
+
+namespace ht::cuttree {
+
+struct TreeEdgePartitionResult {
+  /// Side per counted vertex (position in `counted`), true = side 1.
+  std::vector<bool> side;
+  double tree_cut = 0.0;  // total weight of tree edges joining sides
+  bool valid = false;
+};
+
+/// Minimum tree-edge cut with exactly `target_side1` of the counted
+/// vertices on side 1. Exact DP, O(|T| * |counted|^2 / subtree pruning).
+TreeEdgePartitionResult tree_edge_partition(
+    const Tree& t, const std::vector<VertexId>& counted,
+    std::int64_t target_side1);
+
+/// Balanced bisection: target = |counted| / 2 (|counted| must be even).
+TreeEdgePartitionResult balanced_tree_edge_bisection(
+    const Tree& t, const std::vector<VertexId>& counted);
+
+}  // namespace ht::cuttree

@@ -1,0 +1,110 @@
+#include "cuttree/vertex_cut_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "partition/min_ratio_cut.hpp"
+
+namespace ht::cuttree {
+
+using ht::graph::Graph;
+
+VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
+                                          const VertexCutTreeOptions& options) {
+  HT_CHECK(g.finalized());
+  const VertexId n = g.num_vertices();
+  HT_CHECK(n >= 1);
+  const double total_weight = std::max(g.total_vertex_weight(), 1.0);
+
+  double alpha = options.alpha;
+  if (alpha <= 0.0)
+    alpha = std::sqrt(std::max(1.0, std::log2(static_cast<double>(n) + 1.0)));
+  // f(W) = 1 / sqrt(alpha * log n * W); the analysis needs alpha*f(W)=o(1),
+  // so clamp the threshold below 1/2.
+  const double log_n = std::max(1.0, std::log2(static_cast<double>(n) + 1.0));
+  double threshold =
+      options.threshold_override > 0.0
+          ? options.threshold_override
+          : std::min(0.45, alpha / std::sqrt(alpha * log_n * total_weight));
+
+  VertexCutTreeResult out;
+  out.threshold = threshold;
+  ht::Rng rng(options.seed);
+
+  // Work queue of pieces (vertex lists in original ids).
+  std::deque<std::vector<VertexId>> queue;
+  {
+    std::vector<VertexId> all(static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+    queue.push_back(std::move(all));
+  }
+  std::vector<std::vector<VertexId>> final_pieces;
+  std::vector<VertexId> separator;
+
+  while (!queue.empty()) {
+    std::vector<VertexId> piece = std::move(queue.front());
+    queue.pop_front();
+    if (piece.size() <= 1) {
+      final_pieces.push_back(std::move(piece));
+      continue;
+    }
+    const auto sub = ht::graph::induced_subgraph(g, piece);
+    ht::partition::VertexSeparator sep;
+    if (static_cast<std::int32_t>(piece.size()) <=
+        options.exact_oracle_limit) {
+      sep = ht::partition::min_ratio_vertex_cut_exact(sub.graph);
+    } else {
+      sep = ht::partition::min_ratio_vertex_cut(sub.graph, rng);
+    }
+    if (!sep.valid || sep.sparsity >= threshold) {
+      final_pieces.push_back(std::move(piece));
+      continue;
+    }
+    for (VertexId local : sep.x)
+      separator.push_back(sub.old_of_new[static_cast<std::size_t>(local)]);
+    // Recurse on the connected components of piece \ X. (A and B are
+    // unions of components by construction, but splitting to actual
+    // components peels faster and never hurts domination.)
+    std::vector<bool> removed(piece.size(), false);
+    for (VertexId local : sep.x) removed[static_cast<std::size_t>(local)] = true;
+    auto [comp, count] =
+        ht::graph::connected_components_excluding(sub.graph, removed);
+    std::vector<std::vector<VertexId>> parts(static_cast<std::size_t>(count));
+    for (std::size_t local = 0; local < piece.size(); ++local) {
+      const auto c = comp[local];
+      if (c >= 0)
+        parts[static_cast<std::size_t>(c)].push_back(sub.old_of_new[local]);
+    }
+    for (auto& part : parts)
+      if (!part.empty()) queue.push_back(std::move(part));
+  }
+
+  // Assemble the Figure 1 tree.
+  double separator_weight = 0.0;
+  for (VertexId s : separator) separator_weight += g.vertex_weight(s);
+
+  Tree tree;
+  tree.reserve_vertices(n);
+  const NodeId root = tree.add_node(-1, separator_weight);
+  for (VertexId s : separator) {
+    const NodeId leaf = tree.add_node(root, g.vertex_weight(s));
+    tree.set_vertex_node(s, leaf);
+  }
+  for (const auto& piece : final_pieces) {
+    const NodeId anchor = tree.add_node(root, kInfiniteNodeWeight);
+    for (VertexId v : piece) {
+      const NodeId leaf = tree.add_node(anchor, g.vertex_weight(v));
+      tree.set_vertex_node(v, leaf);
+    }
+  }
+  tree.validate();
+
+  out.tree = std::move(tree);
+  out.separator_vertices = std::move(separator);
+  out.separator_weight = separator_weight;
+  out.num_pieces = static_cast<std::int32_t>(final_pieces.size());
+  return out;
+}
+
+}  // namespace ht::cuttree

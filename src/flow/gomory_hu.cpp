@@ -1,0 +1,85 @@
+#include "flow/gomory_hu.hpp"
+
+#include <algorithm>
+
+#include "flow/dinic.hpp"
+#include "flow/min_cut.hpp"
+
+namespace ht::flow {
+
+using ht::graph::Graph;
+using ht::graph::VertexId;
+
+double GomoryHuTree::min_cut(VertexId s, VertexId t) const {
+  HT_CHECK(s != t);
+  // Walk both vertices to the root recording depth-annotated paths; the
+  // answer is the minimum parent_cut on the s..t tree path.
+  auto path_to_root = [this](VertexId v) {
+    std::vector<VertexId> path{v};
+    while (parent[static_cast<std::size_t>(path.back())] != -1)
+      path.push_back(parent[static_cast<std::size_t>(path.back())]);
+    return path;
+  };
+  std::vector<VertexId> ps = path_to_root(s);
+  std::vector<VertexId> pt = path_to_root(t);
+  // Strip the common suffix (shared ancestors) but keep the LCA junction.
+  std::size_t is = ps.size(), it = pt.size();
+  while (is > 0 && it > 0 && ps[is - 1] == pt[it - 1]) {
+    --is;
+    --it;
+  }
+  double best = Dinic<double>::kInfinity;
+  for (std::size_t i = 0; i < is; ++i)
+    best = std::min(best, parent_cut[static_cast<std::size_t>(ps[i])]);
+  for (std::size_t i = 0; i < it; ++i)
+    best = std::min(best, parent_cut[static_cast<std::size_t>(pt[i])]);
+  return best;
+}
+
+Graph GomoryHuTree::as_graph() const {
+  Graph g(static_cast<VertexId>(parent.size()));
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] != -1)
+      g.add_edge(static_cast<VertexId>(v), parent[v], parent_cut[v]);
+  }
+  g.finalize();
+  return g;
+}
+
+GomoryHuTree gomory_hu(const Graph& g) {
+  HT_CHECK(g.finalized());
+  const VertexId n = g.num_vertices();
+  HT_CHECK(n >= 2);
+  GomoryHuTree tree;
+  tree.root = 0;
+  tree.parent.assign(static_cast<std::size_t>(n), 0);
+  tree.parent[0] = -1;
+  tree.parent_cut.assign(static_cast<std::size_t>(n), 0.0);
+
+  for (VertexId i = 1; i < n; ++i) {
+    const VertexId j = tree.parent[static_cast<std::size_t>(i)];
+    const EdgeCutResult cut = min_edge_cut(g, {i}, {j});
+    tree.parent_cut[static_cast<std::size_t>(i)] = cut.value;
+    // Gusfield re-hang: every later vertex currently hanging off j that
+    // fell on i's side of this cut is re-parented to i.
+    for (VertexId k = i + 1; k < n; ++k) {
+      if (tree.parent[static_cast<std::size_t>(k)] == j &&
+          cut.source_side[static_cast<std::size_t>(k)]) {
+        tree.parent[static_cast<std::size_t>(k)] = i;
+      }
+    }
+    // Classic Gusfield fix-up: if j's parent is on i's side, splice i
+    // between j and its parent.
+    const VertexId pj = tree.parent[static_cast<std::size_t>(j)];
+    if (pj != -1 && cut.source_side[static_cast<std::size_t>(pj)]) {
+      tree.parent[static_cast<std::size_t>(i)] = pj;
+      tree.parent_cut[static_cast<std::size_t>(i)] =
+          tree.parent_cut[static_cast<std::size_t>(j)];
+      tree.parent[static_cast<std::size_t>(j)] = i;
+      tree.parent_cut[static_cast<std::size_t>(j)] = cut.value;
+    }
+  }
+  return tree;
+}
+
+}  // namespace ht::flow

@@ -1,0 +1,36 @@
+// Gomory–Hu cut tree (Gusfield's algorithm).
+//
+// For an ordinary graph the Gomory–Hu tree is an *exact* edge cut tree: for
+// every pair (s,t) the minimum s-t cut equals the lightest edge on the tree
+// path. The paper's Section 3.2 contrasts this graph fact against
+// hypergraphs, where Theorem 6 rules out any edge cut tree of quality
+// o(n) — bench_separation measures exactly this contrast.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ht::flow {
+
+struct GomoryHuTree {
+  // parent[v] for v != root (parent[root] == -1), with cut value
+  // parent_cut[v] = mincut(v, parent[v]).
+  std::vector<ht::graph::VertexId> parent;
+  std::vector<double> parent_cut;
+  ht::graph::VertexId root = 0;
+
+  /// Value of the minimum s-t cut read off the tree (min edge on the path).
+  double min_cut(ht::graph::VertexId s, ht::graph::VertexId t) const;
+
+  /// The tree as a Graph whose edge weights are the cut values.
+  ht::graph::Graph as_graph() const;
+};
+
+/// Builds the Gomory–Hu tree with n-1 max-flow computations (Gusfield's
+/// variant, no contractions). Requires a finalized connected graph with
+/// n >= 2. Edge weights are used; vertex weights are ignored.
+GomoryHuTree gomory_hu(const ht::graph::Graph& g);
+
+}  // namespace ht::flow

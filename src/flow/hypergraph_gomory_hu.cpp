@@ -1,0 +1,94 @@
+#include "flow/hypergraph_gomory_hu.hpp"
+
+#include <algorithm>
+
+#include "flow/dinic.hpp"
+#include "flow/min_cut.hpp"
+
+namespace ht::flow {
+
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+
+double HypergraphGomoryHuTree::min_cut(VertexId s, VertexId t) const {
+  HT_CHECK(s != t);
+  auto path_to_root = [this](VertexId v) {
+    std::vector<VertexId> path{v};
+    while (parent[static_cast<std::size_t>(path.back())] != -1)
+      path.push_back(parent[static_cast<std::size_t>(path.back())]);
+    return path;
+  };
+  std::vector<VertexId> ps = path_to_root(s);
+  std::vector<VertexId> pt = path_to_root(t);
+  std::size_t is = ps.size(), it = pt.size();
+  while (is > 0 && it > 0 && ps[is - 1] == pt[it - 1]) {
+    --is;
+    --it;
+  }
+  double best = Dinic<double>::kInfinity;
+  for (std::size_t i = 0; i < is; ++i)
+    best = std::min(best, parent_cut[static_cast<std::size_t>(ps[i])]);
+  for (std::size_t i = 0; i < it; ++i)
+    best = std::min(best, parent_cut[static_cast<std::size_t>(pt[i])]);
+  return best;
+}
+
+HypergraphGomoryHuTree hypergraph_gomory_hu(const Hypergraph& h) {
+  HT_CHECK(h.finalized());
+  const VertexId n = h.num_vertices();
+  HT_CHECK(n >= 2);
+  HypergraphGomoryHuTree tree;
+  tree.root = 0;
+  tree.parent.assign(static_cast<std::size_t>(n), 0);
+  tree.parent[0] = -1;
+  tree.parent_cut.assign(static_cast<std::size_t>(n), 0.0);
+
+  for (VertexId i = 1; i < n; ++i) {
+    const VertexId j = tree.parent[static_cast<std::size_t>(i)];
+    const HyperedgeCutResult cut = min_hyperedge_cut(h, {i}, {j});
+    tree.parent_cut[static_cast<std::size_t>(i)] = cut.value;
+    // Source side of the canonical minimum cut: vertices still reachable
+    // from i after removing the cut hyperedges.
+    std::vector<bool> removed(static_cast<std::size_t>(h.num_edges()), false);
+    for (auto e : cut.cut_edges) removed[static_cast<std::size_t>(e)] = true;
+    std::vector<bool> reachable(static_cast<std::size_t>(n), false);
+    std::vector<VertexId> stack{i};
+    reachable[static_cast<std::size_t>(i)] = true;
+    std::vector<bool> edge_done(static_cast<std::size_t>(h.num_edges()),
+                                false);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (auto e : h.incident_edges(v)) {
+        if (removed[static_cast<std::size_t>(e)] ||
+            edge_done[static_cast<std::size_t>(e)])
+          continue;
+        edge_done[static_cast<std::size_t>(e)] = true;
+        for (auto u : h.pins(e)) {
+          if (!reachable[static_cast<std::size_t>(u)]) {
+            reachable[static_cast<std::size_t>(u)] = true;
+            stack.push_back(u);
+          }
+        }
+      }
+    }
+    HT_CHECK(!reachable[static_cast<std::size_t>(j)]);
+    for (VertexId k = i + 1; k < n; ++k) {
+      if (tree.parent[static_cast<std::size_t>(k)] == j &&
+          reachable[static_cast<std::size_t>(k)]) {
+        tree.parent[static_cast<std::size_t>(k)] = i;
+      }
+    }
+    const VertexId pj = tree.parent[static_cast<std::size_t>(j)];
+    if (pj != -1 && reachable[static_cast<std::size_t>(pj)]) {
+      tree.parent[static_cast<std::size_t>(i)] = pj;
+      tree.parent_cut[static_cast<std::size_t>(i)] =
+          tree.parent_cut[static_cast<std::size_t>(j)];
+      tree.parent[static_cast<std::size_t>(j)] = i;
+      tree.parent_cut[static_cast<std::size_t>(j)] = cut.value;
+    }
+  }
+  return tree;
+}
+
+}  // namespace ht::flow

@@ -1,0 +1,37 @@
+// Gomory–Hu trees for hypergraph s-t cuts.
+//
+// The hypergraph cut function is symmetric and submodular, so a Gomory–Hu
+// tree exists and Gusfield's algorithm applies with the Lawler-expansion
+// min-cut as the oracle: the tree stores, for every PAIR (s, t), the exact
+// minimum hyperedge cut value.
+//
+// This sharpens the paper's separation story (bench_separation): for
+// SINGLETON pairs hypergraphs behave like graphs — an exact tree exists —
+// but Theorem 6 shows that the same tree (any tree!) must fail for SET
+// cuts delta_H(A, B) by a factor Omega(n). The failure is intrinsically a
+// set phenomenon.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace ht::flow {
+
+struct HypergraphGomoryHuTree {
+  std::vector<ht::hypergraph::VertexId> parent;  // -1 at the root
+  std::vector<double> parent_cut;
+  ht::hypergraph::VertexId root = 0;
+
+  /// Exact min s-t hyperedge cut value read off the tree.
+  double min_cut(ht::hypergraph::VertexId s,
+                 ht::hypergraph::VertexId t) const;
+};
+
+/// Builds the tree with n-1 hypergraph min-cut computations. Requires a
+/// finalized connected hypergraph with n >= 2.
+HypergraphGomoryHuTree hypergraph_gomory_hu(
+    const ht::hypergraph::Hypergraph& h);
+
+}  // namespace ht::flow

@@ -1,0 +1,207 @@
+#include "flow/min_cut.hpp"
+
+#include <algorithm>
+
+#include "flow/dinic.hpp"
+
+namespace ht::flow {
+
+namespace {
+
+using ht::graph::Graph;
+using ht::graph::VertexId;
+using ht::hypergraph::Hypergraph;
+
+constexpr double kInf = Dinic<double>::kInfinity;
+
+void check_disjoint_nonempty(const std::vector<VertexId>& a,
+                             const std::vector<VertexId>& b, VertexId n) {
+  HT_CHECK(!a.empty() && !b.empty());
+  std::vector<char> mark(static_cast<std::size_t>(n), 0);
+  for (VertexId v : a) {
+    HT_CHECK(0 <= v && v < n);
+    mark[static_cast<std::size_t>(v)] = 1;
+  }
+  for (VertexId v : b) {
+    HT_CHECK(0 <= v && v < n);
+    HT_CHECK_MSG(mark[static_cast<std::size_t>(v)] == 0,
+                 "A and B intersect at vertex " << v);
+  }
+}
+
+}  // namespace
+
+EdgeCutResult min_edge_cut(const Graph& g, const std::vector<VertexId>& a,
+                           const std::vector<VertexId>& b) {
+  HT_CHECK(g.finalized());
+  check_disjoint_nonempty(a, b, g.num_vertices());
+  const NodeId n = g.num_vertices();
+  Dinic<double> dinic(n + 2);
+  const NodeId s = n, t = n + 1;
+  std::vector<std::int32_t> arc_of_edge(
+      static_cast<std::size_t>(g.num_edges()));
+  for (ht::graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    arc_of_edge[static_cast<std::size_t>(e)] =
+        dinic.add_undirected(edge.u, edge.v, edge.weight);
+  }
+  for (VertexId v : a) dinic.add_arc(s, v, kInf);
+  for (VertexId v : b) dinic.add_arc(v, t, kInf);
+  dinic.max_flow(s, t);
+
+  EdgeCutResult out;
+  const std::vector<bool> reach = dinic.min_cut_source_side();
+  out.source_side.assign(static_cast<std::size_t>(n), false);
+  for (NodeId v = 0; v < n; ++v)
+    out.source_side[static_cast<std::size_t>(v)] =
+        reach[static_cast<std::size_t>(v)];
+  for (ht::graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    if (out.source_side[static_cast<std::size_t>(edge.u)] !=
+        out.source_side[static_cast<std::size_t>(edge.v)]) {
+      out.cut_edges.push_back(e);
+      out.value += edge.weight;
+    }
+  }
+  return out;
+}
+
+VertexCutResult min_vertex_cut(const Graph& g, const std::vector<VertexId>& a,
+                               const std::vector<VertexId>& b) {
+  HT_CHECK(g.finalized());
+  check_disjoint_nonempty(a, b, g.num_vertices());
+  const VertexId n = g.num_vertices();
+  // Node splitting: v_in = 2v, v_out = 2v+1.
+  Dinic<double> dinic(2 * n + 2);
+  const NodeId s = 2 * n, t = 2 * n + 1;
+  auto v_in = [](VertexId v) { return static_cast<NodeId>(2 * v); };
+  auto v_out = [](VertexId v) { return static_cast<NodeId>(2 * v + 1); };
+  for (VertexId v = 0; v < n; ++v)
+    dinic.add_arc(v_in(v), v_out(v), g.vertex_weight(v));
+  for (const auto& edge : g.edges()) {
+    dinic.add_arc(v_out(edge.u), v_in(edge.v), kInf);
+    dinic.add_arc(v_out(edge.v), v_in(edge.u), kInf);
+  }
+  // Entering at v_in (before the capacity arc) lets the cut pick A and B
+  // vertices themselves, matching the paper's definition of a vertex cut.
+  for (VertexId v : a) dinic.add_arc(s, v_in(v), kInf);
+  for (VertexId v : b) dinic.add_arc(v_out(v), t, kInf);
+  dinic.max_flow(s, t);
+
+  VertexCutResult out;
+  const std::vector<bool> reach = dinic.min_cut_source_side();
+  for (VertexId v = 0; v < n; ++v) {
+    if (reach[static_cast<std::size_t>(v_in(v))] &&
+        !reach[static_cast<std::size_t>(v_out(v))]) {
+      out.cut_vertices.push_back(v);
+      out.value += g.vertex_weight(v);
+    }
+  }
+  HT_DCHECK(vertex_cut_separates(g, out.cut_vertices, a, b));
+  return out;
+}
+
+HyperedgeCutResult min_hyperedge_cut(
+    const Hypergraph& h, const std::vector<ht::hypergraph::VertexId>& a,
+    const std::vector<ht::hypergraph::VertexId>& b) {
+  HT_CHECK(h.finalized());
+  check_disjoint_nonempty(a, b, h.num_vertices());
+  const auto n = h.num_vertices();
+  const auto m = h.num_edges();
+  // Lawler expansion: vertex v -> node v; hyperedge e -> nodes
+  // n+2e (in) and n+2e+1 (out) joined by a capacity-w(e) arc; membership
+  // arcs are infinite.
+  Dinic<double> dinic(n + 2 * m + 2);
+  const NodeId s = n + 2 * m, t = s + 1;
+  auto e_in = [n](ht::hypergraph::EdgeId e) {
+    return static_cast<NodeId>(n + 2 * e);
+  };
+  auto e_out = [n](ht::hypergraph::EdgeId e) {
+    return static_cast<NodeId>(n + 2 * e + 1);
+  };
+  for (ht::hypergraph::EdgeId e = 0; e < m; ++e) {
+    dinic.add_arc(e_in(e), e_out(e), h.edge_weight(e));
+    for (auto v : h.pins(e)) {
+      dinic.add_arc(v, e_in(e), kInf);
+      dinic.add_arc(e_out(e), v, kInf);
+    }
+  }
+  for (auto v : a) dinic.add_arc(s, v, kInf);
+  for (auto v : b) dinic.add_arc(v, t, kInf);
+  dinic.max_flow(s, t);
+
+  HyperedgeCutResult out;
+  const std::vector<bool> reach = dinic.min_cut_source_side();
+  for (ht::hypergraph::EdgeId e = 0; e < m; ++e) {
+    if (reach[static_cast<std::size_t>(e_in(e))] &&
+        !reach[static_cast<std::size_t>(e_out(e))]) {
+      out.cut_edges.push_back(e);
+      out.value += h.edge_weight(e);
+    }
+  }
+  HT_DCHECK(hyperedge_cut_separates(h, out.cut_edges, a, b));
+  return out;
+}
+
+bool vertex_cut_separates(const Graph& g, const std::vector<VertexId>& cut,
+                          const std::vector<VertexId>& a,
+                          const std::vector<VertexId>& b) {
+  HT_CHECK(g.finalized());
+  std::vector<bool> removed(static_cast<std::size_t>(g.num_vertices()), false);
+  for (VertexId v : cut) removed[static_cast<std::size_t>(v)] = true;
+  auto [comp, count] = ht::graph::connected_components_excluding(g, removed);
+  (void)count;
+  std::vector<char> a_comps(static_cast<std::size_t>(
+                                std::max<std::int32_t>(count, 1)),
+                            0);
+  for (VertexId v : a) {
+    const auto c = comp[static_cast<std::size_t>(v)];
+    if (c >= 0) a_comps[static_cast<std::size_t>(c)] = 1;
+  }
+  for (VertexId v : b) {
+    const auto c = comp[static_cast<std::size_t>(v)];
+    if (c >= 0 && a_comps[static_cast<std::size_t>(c)]) return false;
+  }
+  return true;
+}
+
+bool hyperedge_cut_separates(const Hypergraph& h,
+                             const std::vector<ht::hypergraph::EdgeId>& cut,
+                             const std::vector<ht::hypergraph::VertexId>& a,
+                             const std::vector<ht::hypergraph::VertexId>& b) {
+  HT_CHECK(h.finalized());
+  std::vector<bool> edge_removed(static_cast<std::size_t>(h.num_edges()),
+                                 false);
+  for (auto e : cut) edge_removed[static_cast<std::size_t>(e)] = true;
+  // BFS from A over surviving hyperedges.
+  std::vector<bool> visited(static_cast<std::size_t>(h.num_vertices()), false);
+  std::vector<bool> edge_done(static_cast<std::size_t>(h.num_edges()), false);
+  std::vector<ht::hypergraph::VertexId> stack;
+  for (auto v : a) {
+    if (!visited[static_cast<std::size_t>(v)]) {
+      visited[static_cast<std::size_t>(v)] = true;
+      stack.push_back(v);
+    }
+  }
+  while (!stack.empty()) {
+    const auto v = stack.back();
+    stack.pop_back();
+    for (auto e : h.incident_edges(v)) {
+      if (edge_removed[static_cast<std::size_t>(e)] ||
+          edge_done[static_cast<std::size_t>(e)])
+        continue;
+      edge_done[static_cast<std::size_t>(e)] = true;
+      for (auto u : h.pins(e)) {
+        if (!visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  for (auto v : b)
+    if (visited[static_cast<std::size_t>(v)]) return false;
+  return true;
+}
+
+}  // namespace ht::flow

@@ -1,0 +1,68 @@
+// Exact minimum-cut primitives built on Dinic:
+//
+//  * delta_G(A,B)  — minimum-weight edge cut separating A from B in a graph,
+//  * gamma_G(A,B)  — minimum-weight vertex cut (node-splitting reduction);
+//                    the cut may use vertices of A and B, as in the paper,
+//  * delta_H(A,B)  — minimum-weight hyperedge cut (Lawler expansion).
+//
+// Each returns the optimum value together with a witness cut whose value is
+// re-evaluated combinatorially — the reported number is the witness's exact
+// cost, not the flow accumulator.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace ht::flow {
+
+struct EdgeCutResult {
+  double value = 0.0;
+  std::vector<ht::graph::EdgeId> cut_edges;
+  std::vector<bool> source_side;  // indicator over vertices; A-side
+};
+
+/// Minimum edge cut separating disjoint non-empty A and B.
+EdgeCutResult min_edge_cut(const ht::graph::Graph& g,
+                           const std::vector<ht::graph::VertexId>& a,
+                           const std::vector<ht::graph::VertexId>& b);
+
+struct VertexCutResult {
+  double value = 0.0;
+  std::vector<ht::graph::VertexId> cut_vertices;
+};
+
+/// Minimum-weight vertex cut gamma_G(A,B): a vertex set X (possibly
+/// intersecting A or B) whose removal disconnects A \ X from B \ X.
+/// A and B must be disjoint and non-empty.
+VertexCutResult min_vertex_cut(const ht::graph::Graph& g,
+                               const std::vector<ht::graph::VertexId>& a,
+                               const std::vector<ht::graph::VertexId>& b);
+
+struct HyperedgeCutResult {
+  double value = 0.0;
+  std::vector<ht::hypergraph::EdgeId> cut_edges;
+};
+
+/// Minimum-weight hyperedge cut delta_H(A,B) separating A from B.
+HyperedgeCutResult min_hyperedge_cut(
+    const ht::hypergraph::Hypergraph& h,
+    const std::vector<ht::hypergraph::VertexId>& a,
+    const std::vector<ht::hypergraph::VertexId>& b);
+
+/// True if removing `cut` (vertex set) disconnects every a in A\cut from
+/// every b in B\cut — the correctness predicate for vertex cuts, used by
+/// tests and by the witness re-evaluation.
+bool vertex_cut_separates(const ht::graph::Graph& g,
+                          const std::vector<ht::graph::VertexId>& cut,
+                          const std::vector<ht::graph::VertexId>& a,
+                          const std::vector<ht::graph::VertexId>& b);
+
+/// True if removing hyperedges `cut` disconnects A from B in H.
+bool hyperedge_cut_separates(const ht::hypergraph::Hypergraph& h,
+                             const std::vector<ht::hypergraph::EdgeId>& cut,
+                             const std::vector<ht::hypergraph::VertexId>& a,
+                             const std::vector<ht::hypergraph::VertexId>& b);
+
+}  // namespace ht::flow

@@ -1,0 +1,214 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ht::graph {
+
+Graph gnp(VertexId n, double p, ht::Rng& rng) {
+  HT_CHECK(0.0 <= p && p <= 1.0);
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v)
+      if (rng.next_bool(p)) g.add_edge(u, v);
+  g.finalize();
+  return g;
+}
+
+Graph gnp_connected(VertexId n, double p, ht::Rng& rng, int max_retries) {
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    Graph g = gnp(n, p, rng);
+    if (is_connected(g)) return g;
+  }
+  // Fallback: G(n,p) plus a random spanning tree (random permutation path
+  // plus attachment), which keeps degree distribution close to G(n,p).
+  Graph g(n);
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  for (VertexId i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+  std::set<std::pair<VertexId, VertexId>> present;
+  auto add_unique = [&](VertexId u, VertexId v) {
+    if (u == v) return;
+    auto key = std::minmax(u, v);
+    if (present.insert({key.first, key.second}).second) g.add_edge(u, v);
+  };
+  for (VertexId i = 1; i < n; ++i) {
+    const auto j = static_cast<VertexId>(rng.next_below(
+        static_cast<std::uint64_t>(i)));
+    add_unique(order[static_cast<std::size_t>(i)],
+               order[static_cast<std::size_t>(j)]);
+  }
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v)
+      if (rng.next_bool(p)) add_unique(u, v);
+  g.finalize();
+  return g;
+}
+
+Graph grid(VertexId rows, VertexId cols) {
+  Graph g(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph clique(VertexId n, Weight w) {
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v, w);
+  g.finalize();
+  return g;
+}
+
+Graph star(VertexId leaves) {
+  Graph g(leaves + 1);
+  for (VertexId i = 1; i <= leaves; ++i) g.add_edge(0, i);
+  g.finalize();
+  return g;
+}
+
+Graph path(VertexId n) {
+  Graph g(n);
+  for (VertexId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  g.finalize();
+  return g;
+}
+
+Graph random_regular(VertexId n, std::int32_t d, ht::Rng& rng) {
+  HT_CHECK((static_cast<std::int64_t>(n) * d) % 2 == 0);
+  HT_CHECK(d < n);
+  // Configuration model: pair up n*d half-edges, drop loops and parallels.
+  std::vector<VertexId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  for (VertexId v = 0; v < n; ++v)
+    for (std::int32_t i = 0; i < d; ++i) stubs.push_back(v);
+  rng.shuffle(stubs);
+  Graph g(n);
+  std::set<std::pair<VertexId, VertexId>> present;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    VertexId u = stubs[i], v = stubs[i + 1];
+    if (u == v) continue;
+    auto key = std::minmax(u, v);
+    if (present.insert({key.first, key.second}).second) g.add_edge(u, v);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph planted_bisection(VertexId half, double p_in, std::int32_t cross_edges,
+                        ht::Rng& rng) {
+  const VertexId n = 2 * half;
+  Graph g(n);
+  std::set<std::pair<VertexId, VertexId>> present;
+  auto add_unique = [&](VertexId u, VertexId v) -> bool {
+    auto key = std::minmax(u, v);
+    if (!present.insert({key.first, key.second}).second) return false;
+    g.add_edge(u, v);
+    return true;
+  };
+  for (VertexId side = 0; side < 2; ++side) {
+    const VertexId base = side * half;
+    // Spanning path keeps each side connected, making the planted bisection
+    // the overwhelmingly likely optimum.
+    for (VertexId i = 0; i + 1 < half; ++i)
+      add_unique(base + i, base + i + 1);
+    for (VertexId u = 0; u < half; ++u)
+      for (VertexId v = u + 1; v < half; ++v)
+        if (rng.next_bool(p_in)) add_unique(base + u, base + v);
+  }
+  std::int32_t added = 0;
+  int guard = 0;
+  while (added < cross_edges && guard < 100 * cross_edges + 100) {
+    ++guard;
+    const auto u = static_cast<VertexId>(rng.next_below(
+        static_cast<std::uint64_t>(half)));
+    const auto v = static_cast<VertexId>(
+        half + static_cast<VertexId>(rng.next_below(
+                   static_cast<std::uint64_t>(half))));
+    if (add_unique(u, v)) ++added;
+  }
+  g.finalize();
+  return g;
+}
+
+Figure3Graph figure3_gh(VertexId n) {
+  HT_CHECK(n >= 1);
+  Figure3Graph out;
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  Graph& g = out.graph;
+  g.resize(2 * n + 2);
+  out.t = 0;
+  out.v = 2 * n + 1;
+  g.set_vertex_weight(out.t, sqrt_n);
+  g.set_vertex_weight(out.v, static_cast<double>(n));
+  out.u.resize(static_cast<std::size_t>(n));
+  out.w.resize(static_cast<std::size_t>(n));
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId ui = 1 + i;
+    const VertexId wi = 1 + n + i;
+    out.u[static_cast<std::size_t>(i)] = ui;
+    out.w[static_cast<std::size_t>(i)] = wi;
+    g.set_vertex_weight(ui, sqrt_n + 1.0);
+    g.set_vertex_weight(wi, 1.0);
+    g.add_edge(out.t, ui);
+    g.add_edge(ui, wi);
+    g.add_edge(wi, out.v);
+  }
+  g.finalize();
+  return out;
+}
+
+BlowupGraph figure3_blowup(VertexId n) {
+  HT_CHECK(n >= 1);
+  // For exposition (as in the paper's Theorem 8) use weight sqrt(n) for the
+  // u_i; n is rounded so that sqrt(n) is integral by the caller. We use
+  // round(sqrt(n)) here and keep all cliques of that size.
+  const auto s = static_cast<VertexId>(
+      std::llround(std::sqrt(static_cast<double>(n))));
+  BlowupGraph out;
+  Graph& g = out.graph;
+  // Blocks: T (size s), U_i (size s each), W_i (size 1 each), V (size n).
+  const VertexId num_vertices = s + n * s + n + n;
+  g.resize(num_vertices);
+  auto t_base = static_cast<VertexId>(0);
+  auto u_base = [s](VertexId i) { return s + i * s; };
+  const VertexId w_base = s + n * s;
+  const VertexId v_base = w_base + n;
+
+  auto add_clique = [&g](VertexId base, VertexId size) {
+    for (VertexId a = 0; a < size; ++a)
+      for (VertexId b = a + 1; b < size; ++b)
+        g.add_edge(base + a, base + b);
+  };
+  auto add_biclique = [&g](VertexId base_a, VertexId size_a, VertexId base_b,
+                           VertexId size_b) {
+    for (VertexId a = 0; a < size_a; ++a)
+      for (VertexId b = 0; b < size_b; ++b)
+        g.add_edge(base_a + a, base_b + b);
+  };
+
+  add_clique(t_base, s);
+  add_clique(v_base, n);
+  out.core.resize(static_cast<std::size_t>(n));
+  for (VertexId i = 0; i < n; ++i) {
+    add_clique(u_base(i), s);
+    add_biclique(t_base, s, u_base(i), s);          // t -- u_i
+    add_biclique(u_base(i), s, w_base + i, 1);      // u_i -- w_i
+    add_biclique(w_base + i, 1, v_base, n);         // w_i -- v
+    auto& core = out.core[static_cast<std::size_t>(i)];
+    core.resize(static_cast<std::size_t>(s));
+    for (VertexId a = 0; a < s; ++a)
+      core[static_cast<std::size_t>(a)] = u_base(i) + a;
+  }
+  g.finalize();
+  return out;
+}
+
+}  // namespace ht::graph

@@ -1,0 +1,65 @@
+// Graph workload generators, including the paper's lower-bound instances.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ht::graph {
+
+/// Erdős–Rényi G(n, p). Unit weights.
+Graph gnp(VertexId n, double p, ht::Rng& rng);
+
+/// G(n, p) conditioned on connectivity: retries until connected, then adds
+/// a random spanning-tree fallback if p is too small to connect within
+/// `max_retries` attempts.
+Graph gnp_connected(VertexId n, double p, ht::Rng& rng, int max_retries = 16);
+
+/// rows x cols grid graph (4-neighbour), unit weights. Models the
+/// scientific-computing meshes the paper's introduction motivates.
+Graph grid(VertexId rows, VertexId cols);
+
+/// Complete graph K_n with edge weight w.
+Graph clique(VertexId n, Weight w = 1.0);
+
+/// Star with `leaves` leaves; vertex 0 is the centre.
+Graph star(VertexId leaves);
+
+/// Path on n vertices.
+Graph path(VertexId n);
+
+/// Random d-regular-ish multigraph via the configuration model; parallel
+/// edges collapsed (so degrees are <= d). Requires n*d even.
+Graph random_regular(VertexId n, std::int32_t d, ht::Rng& rng);
+
+/// Two G(k, p_in) communities joined by `cross_edges` random cross edges —
+/// a planted-bisection instance with known upper bound `cross_edges` on OPT.
+Graph planted_bisection(VertexId half, double p_in, std::int32_t cross_edges,
+                        ht::Rng& rng);
+
+/// The Figure 3 instance GH of the paper: vertex t of weight sqrt(n)
+/// adjacent to u_1..u_n (weight sqrt(n)+1 each), each u_i adjacent to w_i
+/// (weight 1), all w_i adjacent to v (weight n). N = 2n+2 vertices.
+///
+/// Layout: index 0 = t, 1..n = u_i, n+1..2n = w_i, 2n+1 = v.
+struct Figure3Graph {
+  Graph graph;
+  VertexId t = 0;
+  VertexId v = 0;
+  std::vector<VertexId> u;  // u_1..u_n
+  std::vector<VertexId> w;  // w_1..w_n
+};
+Figure3Graph figure3_gh(VertexId n);
+
+/// Theorem 8 instance: the unweighted clique blow-up of figure3_gh. Each
+/// weight-w vertex becomes a w-clique; edges between weighted vertices
+/// become complete bipartite connections. All weights 1. `core[i]` lists
+/// the clique (blow-up) of u_i — the "core vertices" of the proof.
+struct BlowupGraph {
+  Graph graph;
+  std::vector<std::vector<VertexId>> core;  // per-u_i cliques
+};
+BlowupGraph figure3_blowup(VertexId n);
+
+}  // namespace ht::graph

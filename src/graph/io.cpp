@@ -1,0 +1,104 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ht::graph {
+
+namespace {
+
+bool all_unit_weights(const Graph& g) {
+  for (const auto& e : g.edges())
+    if (e.weight != 1.0) return false;
+  return true;
+}
+
+bool all_unit_vertex_weights(const Graph& g) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (g.vertex_weight(v) != 1.0) return false;
+  return true;
+}
+
+}  // namespace
+
+void write_metis(const Graph& g, std::ostream& os) {
+  HT_CHECK(g.finalized());
+  const bool ew = !all_unit_weights(g);
+  const bool vw = !all_unit_vertex_weights(g);
+  os << g.num_vertices() << ' ' << g.num_edges();
+  if (ew || vw) os << ' ' << (vw ? 10 : 0) + (ew ? 1 : 0);
+  os << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::ostringstream line;
+    if (vw) line << g.vertex_weight(v) << ' ';
+    bool first = true;
+    for (const auto& adj : g.neighbors(v)) {
+      if (!first) line << ' ';
+      first = false;
+      line << adj.to + 1;
+      if (ew) line << ' ' << g.edge(adj.edge).weight;
+    }
+    os << line.str() << '\n';
+  }
+}
+
+Graph read_metis(std::istream& is) {
+  std::string line;
+  auto next_content_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '%') return true;
+    }
+    return false;
+  };
+  HT_CHECK_MSG(next_content_line(), "empty METIS input");
+  std::istringstream header(line);
+  std::int64_t n = 0, m = 0;
+  int fmt = 0;
+  header >> n >> m;
+  if (!(header >> fmt)) fmt = 0;
+  const bool ew = (fmt % 10) == 1;
+  const bool vw = fmt >= 10;
+  HT_CHECK_MSG(n >= 0 && m >= 0, "bad METIS header");
+  Graph g(static_cast<VertexId>(n));
+  for (std::int64_t v = 0; v < n; ++v) {
+    HT_CHECK_MSG(next_content_line(), "missing adjacency line for vertex "
+                                          << v + 1);
+    std::istringstream row(line);
+    if (vw) {
+      double w = 1.0;
+      HT_CHECK_MSG(static_cast<bool>(row >> w), "missing vertex weight");
+      g.set_vertex_weight(static_cast<VertexId>(v), w);
+    }
+    std::int64_t to;
+    while (row >> to) {
+      HT_CHECK_MSG(1 <= to && to <= n, "neighbor out of range: " << to);
+      double w = 1.0;
+      if (ew) HT_CHECK_MSG(static_cast<bool>(row >> w), "missing edge weight");
+      // Each edge appears twice; add it once, from the smaller endpoint.
+      if (v < to - 1) {
+        g.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(to - 1),
+                   w);
+      }
+    }
+  }
+  HT_CHECK_MSG(g.num_edges() == m,
+               "edge count mismatch: header says " << m << ", found "
+                                                   << g.num_edges());
+  g.finalize();
+  return g;
+}
+
+void write_metis_file(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  HT_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_metis(g, os);
+}
+
+Graph read_metis_file(const std::string& path) {
+  std::ifstream is(path);
+  HT_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_metis(is);
+}
+
+}  // namespace ht::graph

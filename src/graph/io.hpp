@@ -1,0 +1,23 @@
+// Graph text IO in a METIS-compatible adjacency format.
+//
+// Format (1-indexed):
+//   line 1: n m [fmt]      fmt: 1 = edge weights, 10 = vertex weights,
+//                          11 = both
+//   next n lines: [vweight] neighbor [eweight] neighbor [eweight] ...
+// Each undirected edge appears in both endpoint lines; weights must agree.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ht::graph {
+
+void write_metis(const Graph& g, std::ostream& os);
+Graph read_metis(std::istream& is);
+
+void write_metis_file(const Graph& g, const std::string& path);
+Graph read_metis_file(const std::string& path);
+
+}  // namespace ht::graph

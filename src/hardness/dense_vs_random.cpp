@@ -1,0 +1,54 @@
+#include "hardness/dense_vs_random.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "partition/mku.hpp"
+#include "reduction/mku_bisection.hpp"
+
+namespace ht::hardness {
+
+using ht::hypergraph::EdgeId;
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+
+DegreeStats degree_stats(const Hypergraph& h) {
+  DegreeStats out;
+  const VertexId n = h.num_vertices();
+  HT_CHECK(n > 0);
+  out.min = 1e300;
+  double sum = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const double d = h.degree(v);
+    out.min = std::min(out.min, d);
+    out.max = std::max(out.max, d);
+    sum += d;
+  }
+  out.mean = sum / static_cast<double>(n);
+  out.log_density =
+      out.mean > 0.0 && n > 1
+          ? std::log(out.mean) / std::log(static_cast<double>(n))
+          : 0.0;
+  return out;
+}
+
+UnionCoverage union_coverage(const Hypergraph& h, std::int64_t ell,
+                             ht::Rng& rng, int samples) {
+  HT_CHECK(1 <= ell && ell <= h.num_edges());
+  UnionCoverage out;
+  out.ell = ell;
+  const auto greedy =
+      ht::partition::mku_greedy(h, static_cast<std::int32_t>(ell));
+  out.greedy_union = greedy.union_weight;
+  out.sampled_min = 1e300;
+  for (int s = 0; s < samples; ++s) {
+    auto pick = rng.sample_without_replacement(
+        h.num_edges(), static_cast<std::int32_t>(ell));
+    std::vector<EdgeId> sets(pick.begin(), pick.end());
+    out.sampled_min = std::min(
+        out.sampled_min, ht::reduction::mku_union_weight(h, sets));
+  }
+  return out;
+}
+
+}  // namespace ht::hardness

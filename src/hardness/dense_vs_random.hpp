@@ -1,0 +1,41 @@
+// Empirical side of the Dense vs Random Conjecture (Conjecture 1) and the
+// Claim 1 facts that drive Corollary 1.
+//
+// The conjecture itself is a hardness assumption and cannot be "run"; what
+// is measurable is the structural gap it rests on: in a random G(n, p, r)
+// the union of any ell hyperedges is large (facts 2 and 3), while a planted
+// instance hides ell hyperedges with a small union. bench_dense_vs_random
+// charts this gap, the degree concentration of fact 1, and how the
+// log-density knob moves all three.
+#pragma once
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace ht::hardness {
+
+struct DegreeStats {
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  double log_density = 0.0;  // log_n(mean degree), the paper's alpha
+};
+
+DegreeStats degree_stats(const ht::hypergraph::Hypergraph& h);
+
+struct UnionCoverage {
+  double greedy_union = 0.0;   // greedy upper bound on the min ell-union
+  double sampled_min = 0.0;    // best of `samples` random ell-subsets
+  std::int64_t ell = 0;
+};
+
+/// Upper-bounds the minimum ell-union via greedy + random sampling. Small
+/// values mean a dense planted structure is discoverable; large values are
+/// the random-instance behaviour of Claim 1.
+UnionCoverage union_coverage(const ht::hypergraph::Hypergraph& h,
+                             std::int64_t ell, ht::Rng& rng,
+                             int samples = 64);
+
+}  // namespace ht::hardness

@@ -1,0 +1,126 @@
+#include "hardness/dks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bisection.hpp"
+#include "reduction/dks_mku.hpp"
+#include "reduction/mku_bisection.hpp"
+#include "util/subsets.hpp"
+
+namespace ht::hardness {
+
+using ht::graph::Graph;
+using ht::graph::VertexId;
+
+DksSolution dks_greedy_peel(const Graph& g, std::int32_t k) {
+  HT_CHECK(g.finalized());
+  const VertexId n = g.num_vertices();
+  HT_CHECK(1 <= k && k <= n);
+  std::vector<bool> alive(static_cast<std::size_t>(n), true);
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(n), 0);
+  for (const auto& e : g.edges()) {
+    ++degree[static_cast<std::size_t>(e.u)];
+    ++degree[static_cast<std::size_t>(e.v)];
+  }
+  DksSolution best;
+  std::int32_t remaining = n;
+  for (;;) {
+    if (remaining == k) {
+      std::vector<VertexId> set;
+      for (VertexId v = 0; v < n; ++v)
+        if (alive[static_cast<std::size_t>(v)]) set.push_back(v);
+      const std::int64_t edges = ht::reduction::induced_edges(g, set);
+      if (!best.valid || edges > best.induced_edges) {
+        best.vertices = std::move(set);
+        best.induced_edges = edges;
+        best.valid = true;
+      }
+      break;
+    }
+    VertexId victim = -1;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!alive[static_cast<std::size_t>(v)]) continue;
+      if (victim == -1 || degree[static_cast<std::size_t>(v)] <
+                              degree[static_cast<std::size_t>(victim)])
+        victim = v;
+    }
+    alive[static_cast<std::size_t>(victim)] = false;
+    --remaining;
+    for (const auto& adj : g.neighbors(victim))
+      if (alive[static_cast<std::size_t>(adj.to)])
+        --degree[static_cast<std::size_t>(adj.to)];
+  }
+  return best;
+}
+
+DksSolution dks_exact(const Graph& g, std::int32_t k) {
+  HT_CHECK(g.finalized());
+  const VertexId n = g.num_vertices();
+  HT_CHECK(1 <= k && k <= n);
+  double combos = 1.0;
+  for (std::int32_t i = 0; i < k; ++i)
+    combos *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  HT_CHECK_MSG(combos <= 6e6, "C(n,k) too large for exact DkS");
+  DksSolution best;
+  ht::for_each_combination(n, k, [&](const std::vector<int>& idx) {
+    std::vector<VertexId> set(idx.begin(), idx.end());
+    const std::int64_t edges = ht::reduction::induced_edges(g, set);
+    if (!best.valid || edges > best.induced_edges) {
+      best.vertices = std::move(set);
+      best.induced_edges = edges;
+      best.valid = true;
+    }
+  });
+  return best;
+}
+
+DksSolution dks_via_bisection(const Graph& g, std::int32_t k,
+                              std::uint64_t seed, std::int32_t l_guesses) {
+  HT_CHECK(g.finalized());
+  const std::int32_t m = g.num_edges();
+  HT_CHECK(m >= 1);
+  DksSolution best;
+  // Guess L geometrically over [1, min(m, k*(k-1)/2)].
+  const auto l_max = static_cast<std::int32_t>(std::min<std::int64_t>(
+      m, static_cast<std::int64_t>(k) * (k - 1) / 2));
+  std::vector<std::int32_t> ls;
+  for (std::int32_t j = 0; j < l_guesses; ++j) {
+    const double t = l_guesses > 1
+                         ? static_cast<double>(j) /
+                               static_cast<double>(l_guesses - 1)
+                         : 0.0;
+    const auto L = static_cast<std::int32_t>(std::llround(
+        std::pow(static_cast<double>(l_max), t)));
+    if (ls.empty() || ls.back() != std::max(1, L)) ls.push_back(std::max(1, L));
+  }
+  for (std::int32_t L : ls) {
+    // DkS -> MkU with parameter L.
+    ht::reduction::MkuInstance mku = ht::reduction::dks_to_mku(g, L);
+    // MkU -> Minimum Hypergraph Bisection (Theorem 3).
+    const auto reduction = ht::reduction::mku_to_bisection(mku);
+    // Solve the bisection with the paper's algorithm.
+    ht::core::Theorem1Options options;
+    options.seed = seed ^ static_cast<std::uint64_t>(L) * 0x9e3779b9ULL;
+    options.guesses = 6;
+    const auto report =
+        ht::core::bisect_theorem1(reduction.bisection_instance, options);
+    // Orient sides so "true" is the supervertex side.
+    std::vector<bool> with_super = report.solution.side;
+    if (!with_super[static_cast<std::size_t>(reduction.supervertex)]) {
+      with_super.flip();
+    }
+    const auto chosen = reduction.extract_mku_solution(with_super, L);
+    // MkU solution -> DkS candidate.
+    const auto candidate = ht::reduction::mku_solution_to_dks(g, chosen, k);
+    const std::int64_t edges = ht::reduction::induced_edges(g, candidate);
+    if (!best.valid || edges > best.induced_edges) {
+      best.vertices = candidate;
+      best.induced_edges = edges;
+      best.valid = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace ht::hardness

@@ -1,0 +1,37 @@
+// Densest k-Subgraph solvers and the Theorem 4 round trip.
+//
+// Theorem 4 turns an f-approximation for Minimum Hypergraph Bisection into
+// an f^2-approximation for DkS via the MkU reduction. dks_via_bisection
+// executes the entire chain — DkS -> MkU (guessed L) -> Bisection
+// (Theorem 3 construction) -> Theorem 1 solver -> extracted MkU solution ->
+// pruned DkS candidate — so bench_reductions can chart the measured f
+// against the measured f^2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ht::hardness {
+
+struct DksSolution {
+  std::vector<ht::graph::VertexId> vertices;
+  std::int64_t induced_edges = 0;
+  bool valid = false;
+};
+
+/// Greedy peeling: repeatedly delete the minimum-degree vertex; the best
+/// k-vertex suffix encountered wins. The classic density baseline.
+DksSolution dks_greedy_peel(const ht::graph::Graph& g, std::int32_t k);
+
+/// Exact optimum by combination enumeration (C(n,k) must be modest).
+DksSolution dks_exact(const ht::graph::Graph& g, std::int32_t k);
+
+/// Theorem 4 pipeline. `l_guesses` controls how many L values are tried
+/// (geometric over [1, m]); each runs the full reduction chain.
+DksSolution dks_via_bisection(const ht::graph::Graph& g, std::int32_t k,
+                              std::uint64_t seed, std::int32_t l_guesses = 8);
+
+}  // namespace ht::hardness

@@ -1,0 +1,96 @@
+#include "hypergraph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ht::hypergraph {
+
+namespace {
+
+bool all_unit(const std::vector<double>& values) {
+  for (double v : values)
+    if (v != 1.0) return false;
+  return true;
+}
+
+}  // namespace
+
+void write_hmetis(const Hypergraph& h, std::ostream& os) {
+  std::vector<double> edge_w, vertex_w;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) edge_w.push_back(h.edge_weight(e));
+  for (VertexId v = 0; v < h.num_vertices(); ++v)
+    vertex_w.push_back(h.vertex_weight(v));
+  const bool ew = !all_unit(edge_w);
+  const bool vw = !all_unit(vertex_w);
+  os << h.num_edges() << ' ' << h.num_vertices();
+  if (ew || vw) os << ' ' << (vw ? 10 : 0) + (ew ? 1 : 0);
+  os << '\n';
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    if (ew) os << h.edge_weight(e) << ' ';
+    auto span = h.pins(e);
+    for (std::size_t i = 0; i < span.size(); ++i)
+      os << span[i] + 1 << (i + 1 < span.size() ? ' ' : '\n');
+  }
+  if (vw)
+    for (VertexId v = 0; v < h.num_vertices(); ++v)
+      os << h.vertex_weight(v) << '\n';
+}
+
+Hypergraph read_hmetis(std::istream& is) {
+  std::string line;
+  auto next_content_line = [&]() -> std::string {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '%') return line;
+    }
+    HT_CHECK_MSG(false, "unexpected EOF in hMetis input");
+    return {};
+  };
+  std::istringstream header(next_content_line());
+  std::int64_t m = 0, n = 0;
+  int fmt = 0;
+  header >> m >> n;
+  if (!(header >> fmt)) fmt = 0;
+  const bool ew = (fmt % 10) == 1;
+  const bool vw = fmt >= 10;
+  Hypergraph h(static_cast<VertexId>(n));
+  for (std::int64_t e = 0; e < m; ++e) {
+    std::istringstream row(next_content_line());
+    double w = 1.0;
+    if (ew) {
+      row >> w;
+      HT_CHECK_MSG(row, "missing edge weight");
+    }
+    std::vector<VertexId> pins;
+    std::int64_t pin;
+    while (row >> pin) {
+      HT_CHECK_MSG(1 <= pin && pin <= n, "pin out of range: " << pin);
+      pins.push_back(static_cast<VertexId>(pin - 1));
+    }
+    h.add_edge(std::move(pins), w);
+  }
+  if (vw) {
+    for (std::int64_t v = 0; v < n; ++v) {
+      std::istringstream row(next_content_line());
+      double w = 1.0;
+      row >> w;
+      HT_CHECK_MSG(row, "missing vertex weight");
+      h.set_vertex_weight(static_cast<VertexId>(v), w);
+    }
+  }
+  h.finalize();
+  return h;
+}
+
+void write_hmetis_file(const Hypergraph& h, const std::string& path) {
+  std::ofstream os(path);
+  HT_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_hmetis(h, os);
+}
+
+Hypergraph read_hmetis_file(const std::string& path) {
+  std::ifstream is(path);
+  HT_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_hmetis(is);
+}
+
+}  // namespace ht::hypergraph

@@ -1,0 +1,22 @@
+// Text IO in an hMetis-compatible format.
+//
+// Format (1-indexed, as hMetis):
+//   line 1: m n [fmt]     fmt: 1=edge weights, 10=vertex weights, 11=both
+//   next m lines: [weight] pin pin ...
+//   next n lines (if vertex weights): weight
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace ht::hypergraph {
+
+void write_hmetis(const Hypergraph& h, std::ostream& os);
+Hypergraph read_hmetis(std::istream& is);
+
+void write_hmetis_file(const Hypergraph& h, const std::string& path);
+Hypergraph read_hmetis_file(const std::string& path);
+
+}  // namespace ht::hypergraph

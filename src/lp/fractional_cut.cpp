@@ -1,0 +1,110 @@
+#include "lp/fractional_cut.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "lp/simplex.hpp"
+#include "util/check.hpp"
+
+namespace ht::lp {
+
+using ht::graph::Graph;
+using ht::graph::VertexId;
+
+namespace {
+
+/// Shortest A-B path where entering vertex v costs x_v; returns the path
+/// (vertex sequence) and its cost, or an empty path if disconnected.
+std::pair<std::vector<VertexId>, double> cheapest_path(
+    const Graph& g, const std::vector<double>& x,
+    const std::vector<VertexId>& a, const std::vector<VertexId>& b) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<VertexId> prev(n, -1);
+  std::vector<bool> is_target(n, false);
+  for (VertexId v : b) is_target[static_cast<std::size_t>(v)] = true;
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (VertexId v : a) {
+    const double d = x[static_cast<std::size_t>(v)];
+    if (d < dist[static_cast<std::size_t>(v)]) {
+      dist[static_cast<std::size_t>(v)] = d;
+      heap.push({d, v});
+    }
+  }
+  VertexId reached = -1;
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(v)] + 1e-15) continue;
+    if (is_target[static_cast<std::size_t>(v)]) {
+      reached = v;
+      break;
+    }
+    for (const auto& adj : g.neighbors(v)) {
+      const double nd = d + x[static_cast<std::size_t>(adj.to)];
+      if (nd + 1e-15 < dist[static_cast<std::size_t>(adj.to)]) {
+        dist[static_cast<std::size_t>(adj.to)] = nd;
+        prev[static_cast<std::size_t>(adj.to)] = v;
+        heap.push({nd, adj.to});
+      }
+    }
+  }
+  if (reached == -1) return {{}, 0.0};
+  std::vector<VertexId> path;
+  for (VertexId v = reached; v != -1; v = prev[static_cast<std::size_t>(v)])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return {path, dist[static_cast<std::size_t>(reached)]};
+}
+
+}  // namespace
+
+FractionalCutResult fractional_vertex_cut(const Graph& g,
+                                          const std::vector<VertexId>& a,
+                                          const std::vector<VertexId>& b,
+                                          int max_iterations) {
+  HT_CHECK(g.finalized());
+  HT_CHECK(!a.empty() && !b.empty());
+  const auto n = g.num_vertices();
+  FractionalCutResult out;
+  out.x.assign(static_cast<std::size_t>(n), 0.0);
+
+  std::vector<double> objective(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v)
+    objective[static_cast<std::size_t>(v)] = g.vertex_weight(v);
+
+  std::vector<std::vector<VertexId>> paths;
+  for (int it = 0; it < max_iterations; ++it) {
+    auto [path, cost] = cheapest_path(g, out.x, a, b);
+    if (path.empty()) {
+      // A and B already disconnected: the zero vector is optimal.
+      out.converged = true;
+      break;
+    }
+    if (cost >= 1.0 - 1e-7) {
+      out.converged = true;
+      break;
+    }
+    paths.push_back(std::move(path));
+    SimplexSolver solver(n);
+    for (const auto& p : paths) {
+      Constraint c;
+      c.coeffs.assign(static_cast<std::size_t>(n), 0.0);
+      for (VertexId v : p) c.coeffs[static_cast<std::size_t>(v)] = 1.0;
+      c.relation = Relation::kGreaterEqual;
+      c.rhs = 1.0;
+      solver.add_constraint(std::move(c));
+    }
+    const LpResult lp = solver.minimize(objective);
+    HT_CHECK_MSG(lp.status == LpStatus::kOptimal,
+                 "path-cover LP should always be feasible and bounded");
+    out.x = lp.solution;
+    out.value = lp.objective;
+    out.constraints_generated = static_cast<int>(paths.size());
+  }
+  return out;
+}
+
+}  // namespace ht::lp

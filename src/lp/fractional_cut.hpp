@@ -1,0 +1,31 @@
+// LP relaxation of the minimum vertex cut, solved by constraint generation.
+//
+//   minimize   sum_v w(v) * x_v
+//   subject to sum_{v in P} x_v >= 1   for every A-B path P,
+//              x_v >= 0.
+//
+// By LP duality this equals the maximum fractional vertex-capacitated flow,
+// and by Menger/max-flow-min-cut the optimum is integral and equals
+// gamma_G(A,B) — giving an independent (simplex-based) cross-check of the
+// node-splitting flow solver. Violated path constraints are found with a
+// node-weighted Dijkstra; small instances only (dense simplex).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ht::lp {
+
+struct FractionalCutResult {
+  double value = 0.0;
+  std::vector<double> x;  // fractional cut variables
+  int constraints_generated = 0;
+  bool converged = false;
+};
+
+FractionalCutResult fractional_vertex_cut(
+    const ht::graph::Graph& g, const std::vector<ht::graph::VertexId>& a,
+    const std::vector<ht::graph::VertexId>& b, int max_iterations = 200);
+
+}  // namespace ht::lp

@@ -1,0 +1,262 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ht::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Tableau layout: rows = constraints (all converted to equalities with
+// slack/surplus variables), columns = structural + slack + artificial
+// variables + RHS. Phase 1 minimizes the sum of artificials; phase 2
+// optimizes the real objective over the feasible basis.
+class Tableau {
+ public:
+  Tableau(std::int32_t num_vars, const std::vector<Constraint>& constraints) {
+    rows_ = static_cast<std::int32_t>(constraints.size());
+    num_structural_ = num_vars;
+    // Count slack and artificial columns.
+    std::int32_t slacks = 0, artificials = 0;
+    for (const auto& c : constraints) {
+      if (c.relation != Relation::kEqual) ++slacks;
+      // >= rows and = rows need an artificial; <= rows with negative rhs
+      // are normalized below and may too. We conservatively give every row
+      // an artificial — simple and correct; phase 1 drives them out.
+      ++artificials;
+    }
+    (void)slacks;
+    cols_ = num_structural_;
+    slack_base_ = cols_;
+    for (const auto& c : constraints)
+      if (c.relation != Relation::kEqual) ++cols_;
+    art_base_ = cols_;
+    cols_ += artificials;
+    width_ = cols_ + 1;  // + RHS
+    data_.assign(static_cast<std::size_t>(rows_) *
+                     static_cast<std::size_t>(width_),
+                 0.0);
+    basis_.assign(static_cast<std::size_t>(rows_), -1);
+
+    std::int32_t slack_col = slack_base_;
+    for (std::int32_t r = 0; r < rows_; ++r) {
+      const Constraint& c = constraints[static_cast<std::size_t>(r)];
+      HT_CHECK(static_cast<std::int32_t>(c.coeffs.size()) == num_structural_);
+      double sign = 1.0;
+      double rhs = c.rhs;
+      Relation rel = c.relation;
+      if (rhs < 0) {
+        sign = -1.0;
+        rhs = -rhs;
+        if (rel == Relation::kLessEqual)
+          rel = Relation::kGreaterEqual;
+        else if (rel == Relation::kGreaterEqual)
+          rel = Relation::kLessEqual;
+      }
+      for (std::int32_t j = 0; j < num_structural_; ++j)
+        at(r, j) = sign * c.coeffs[static_cast<std::size_t>(j)];
+      if (c.relation != Relation::kEqual) {
+        at(r, slack_col) = (rel == Relation::kLessEqual) ? 1.0 : -1.0;
+        ++slack_col;
+      }
+      at(r, art_base_ + r) = 1.0;
+      at(r, cols_) = rhs;
+      basis_[static_cast<std::size_t>(r)] = art_base_ + r;
+    }
+  }
+
+  /// Phase 1: returns true if a feasible basis was found.
+  bool phase1() {
+    // Objective: minimize sum of artificials == maximize -sum.
+    std::vector<double> obj(static_cast<std::size_t>(cols_), 0.0);
+    for (std::int32_t r = 0; r < rows_; ++r)
+      obj[static_cast<std::size_t>(art_base_ + r)] = -1.0;
+    double value = run(obj);
+    if (value < -kEps) return false;
+    // Pivot out any artificial still in the basis (degenerate rows).
+    for (std::int32_t r = 0; r < rows_; ++r) {
+      if (basis_[static_cast<std::size_t>(r)] >= art_base_) {
+        bool pivoted = false;
+        for (std::int32_t j = 0; j < art_base_ && !pivoted; ++j) {
+          if (std::fabs(at(r, j)) > kEps) {
+            pivot(r, j);
+            pivoted = true;
+          }
+        }
+        // If no pivot exists the row is all-zero: redundant; leave it.
+      }
+    }
+    return true;
+  }
+
+  /// Phase 2: maximizes objective over structural variables.
+  /// Returns {finite, value}; finite=false means unbounded.
+  std::pair<bool, double> phase2(const std::vector<double>& objective) {
+    std::vector<double> obj(static_cast<std::size_t>(cols_), 0.0);
+    for (std::int32_t j = 0; j < num_structural_; ++j)
+      obj[static_cast<std::size_t>(j)] = objective[static_cast<std::size_t>(j)];
+    // Forbid artificials from re-entering.
+    forbid_artificials_ = true;
+    const double value = run(obj);
+    if (unbounded_) return {false, 0.0};
+    return {true, value};
+  }
+
+  std::vector<double> solution() const {
+    std::vector<double> x(static_cast<std::size_t>(num_structural_), 0.0);
+    for (std::int32_t r = 0; r < rows_; ++r) {
+      const std::int32_t b = basis_[static_cast<std::size_t>(r)];
+      if (b < num_structural_) x[static_cast<std::size_t>(b)] = at(r, cols_);
+    }
+    return x;
+  }
+
+ private:
+  double& at(std::int32_t r, std::int32_t c) {
+    return data_[static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(c)];
+  }
+  double at(std::int32_t r, std::int32_t c) const {
+    return data_[static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  void pivot(std::int32_t pr, std::int32_t pc) {
+    const double pivot_value = at(pr, pc);
+    HT_CHECK(std::fabs(pivot_value) > kEps);
+    for (std::int32_t c = 0; c <= cols_; ++c) at(pr, c) /= pivot_value;
+    for (std::int32_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (std::fabs(factor) < kEps) continue;
+      for (std::int32_t c = 0; c <= cols_; ++c)
+        at(r, c) -= factor * at(pr, c);
+    }
+    basis_[static_cast<std::size_t>(pr)] = pc;
+  }
+
+  /// Runs simplex with the given (maximization) objective from the current
+  /// basis; returns the objective value. Sets unbounded_.
+  double run(const std::vector<double>& obj) {
+    unbounded_ = false;
+    // Reduced costs computed fresh each iteration (simple revised-style
+    // computation on the dense tableau): z_j - c_j over basis.
+    for (;;) {
+      // reduced cost for column j: c_j - c_B^T B^{-1} A_j; with the tableau
+      // already in basis form, B^{-1}A_j is just column j.
+      std::int32_t enter = -1;
+      for (std::int32_t j = 0; j < cols_; ++j) {
+        if (forbid_artificials_ && j >= art_base_) continue;
+        bool basic = false;
+        for (std::int32_t r = 0; r < rows_ && !basic; ++r)
+          basic = basis_[static_cast<std::size_t>(r)] == j;
+        if (basic) continue;
+        double reduced = obj[static_cast<std::size_t>(j)];
+        for (std::int32_t r = 0; r < rows_; ++r)
+          reduced -= obj[static_cast<std::size_t>(
+                         basis_[static_cast<std::size_t>(r)])] *
+                     at(r, j);
+        if (reduced > kEps) {  // Bland: smallest improving index
+          enter = j;
+          break;
+        }
+      }
+      if (enter == -1) break;
+      std::int32_t leave = -1;
+      double best_ratio = 0.0;
+      for (std::int32_t r = 0; r < rows_; ++r) {
+        if (at(r, enter) > kEps) {
+          const double ratio = at(r, cols_) / at(r, enter);
+          if (leave == -1 || ratio < best_ratio - kEps ||
+              (std::fabs(ratio - best_ratio) <= kEps &&
+               basis_[static_cast<std::size_t>(r)] <
+                   basis_[static_cast<std::size_t>(leave)])) {
+            leave = r;
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leave == -1) {
+        unbounded_ = true;
+        return 0.0;
+      }
+      pivot(leave, enter);
+    }
+    double value = 0.0;
+    for (std::int32_t r = 0; r < rows_; ++r)
+      value += obj[static_cast<std::size_t>(
+                   basis_[static_cast<std::size_t>(r)])] *
+               at(r, cols_);
+    return value;
+  }
+
+  std::int32_t rows_ = 0;
+  std::int32_t cols_ = 0;
+  std::int32_t width_ = 0;
+  std::int32_t num_structural_ = 0;
+  std::int32_t slack_base_ = 0;
+  std::int32_t art_base_ = 0;
+  std::vector<double> data_;
+  std::vector<std::int32_t> basis_;
+  bool forbid_artificials_ = false;
+  bool unbounded_ = false;
+};
+
+}  // namespace
+
+SimplexSolver::SimplexSolver(std::int32_t num_vars) : num_vars_(num_vars) {
+  HT_CHECK(num_vars > 0);
+}
+
+void SimplexSolver::add_constraint(Constraint c) {
+  HT_CHECK(static_cast<std::int32_t>(c.coeffs.size()) == num_vars_);
+  constraints_.push_back(std::move(c));
+}
+
+LpResult SimplexSolver::maximize(const std::vector<double>& objective) const {
+  HT_CHECK(static_cast<std::int32_t>(objective.size()) == num_vars_);
+  LpResult out;
+  if (constraints_.empty()) {
+    // Feasible (x = 0); bounded iff no positive objective coefficient.
+    for (double c : objective) {
+      if (c > kEps) {
+        out.status = LpStatus::kUnbounded;
+        return out;
+      }
+    }
+    out.status = LpStatus::kOptimal;
+    out.objective = 0.0;
+    out.solution.assign(static_cast<std::size_t>(num_vars_), 0.0);
+    return out;
+  }
+  Tableau tableau(num_vars_, constraints_);
+  if (!tableau.phase1()) {
+    out.status = LpStatus::kInfeasible;
+    return out;
+  }
+  auto [finite, value] = tableau.phase2(objective);
+  if (!finite) {
+    out.status = LpStatus::kUnbounded;
+    return out;
+  }
+  out.status = LpStatus::kOptimal;
+  out.objective = value;
+  out.solution = tableau.solution();
+  return out;
+}
+
+LpResult SimplexSolver::minimize(const std::vector<double>& objective) const {
+  std::vector<double> neg(objective.size());
+  for (std::size_t i = 0; i < objective.size(); ++i) neg[i] = -objective[i];
+  LpResult r = maximize(neg);
+  r.objective = -r.objective;
+  return r;
+}
+
+}  // namespace ht::lp

@@ -1,0 +1,50 @@
+// Dense two-phase primal simplex with Bland's rule.
+//
+// Solves   max c^T x   s.t.  A x (<=|=|>=) b,  x >= 0.
+//
+// This is the "LP machinery" consumed by the LP-relaxation sparsest-cut
+// baseline (partition/min_ratio_cut) on small instances, and exercised
+// standalone by tests. Bland's rule guarantees termination; dense tableaus
+// are fine at the instance sizes where the LP baseline is enabled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ht::lp {
+
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+struct Constraint {
+  std::vector<double> coeffs;  // one per variable
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> solution;
+};
+
+class SimplexSolver {
+ public:
+  /// num_vars variables, all constrained >= 0.
+  explicit SimplexSolver(std::int32_t num_vars);
+
+  void add_constraint(Constraint c);
+
+  /// Maximizes objective^T x.
+  LpResult maximize(const std::vector<double>& objective) const;
+
+  /// Minimizes objective^T x (negates and maximizes).
+  LpResult minimize(const std::vector<double>& objective) const;
+
+ private:
+  std::int32_t num_vars_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace ht::lp

@@ -1,0 +1,39 @@
+#include "partition/exact.hpp"
+
+#include "graph/graph.hpp"
+#include "util/subsets.hpp"
+
+namespace ht::partition {
+
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+
+BisectionSolution exact_hypergraph_bisection(const Hypergraph& h) {
+  HT_CHECK(h.finalized());
+  const VertexId n = h.num_vertices();
+  HT_CHECK(n >= 2 && n % 2 == 0);
+  HT_CHECK_MSG(n <= 24, "exact bisection limited to n <= 24");
+  BisectionSolution best;
+  std::vector<bool> side(static_cast<std::size_t>(n), false);
+  // Fix vertex 0 on side 0; enumerate the other n/2 picks among [1, n).
+  ht::for_each_combination(n - 1, n / 2, [&](const std::vector<int>& idx) {
+    std::fill(side.begin(), side.end(), false);
+    for (int i : idx) side[static_cast<std::size_t>(i) + 1] = true;
+    const double cut = h.cut_weight(side);
+    if (!best.valid || cut < best.cut) {
+      best.side = side;
+      best.cut = cut;
+      best.valid = true;
+    }
+  });
+  return best;
+}
+
+BisectionSolution exact_graph_bisection(const ht::graph::Graph& g) {
+  Hypergraph wrapper(g.num_vertices());
+  for (const auto& e : g.edges()) wrapper.add_edge({e.u, e.v}, e.weight);
+  wrapper.finalize();
+  return exact_hypergraph_bisection(wrapper);
+}
+
+}  // namespace ht::partition

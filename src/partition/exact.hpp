@@ -1,0 +1,19 @@
+// Exact (brute-force) solvers used as ground truth by tests and by the
+// approximation-ratio benches.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "partition/fm.hpp"
+
+namespace ht::partition {
+
+/// Exact Minimum Hypergraph Bisection by half-set enumeration. n must be
+/// even and <= 24 (the enumeration is C(n-1, n/2-1) sides).
+BisectionSolution exact_hypergraph_bisection(
+    const ht::hypergraph::Hypergraph& h);
+
+/// Exact minimum bisection of a graph (wraps it 2-uniform).
+BisectionSolution exact_graph_bisection(const ht::graph::Graph& g);
+
+}  // namespace ht::partition

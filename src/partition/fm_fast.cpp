@@ -1,0 +1,197 @@
+#include "partition/fm_fast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ht::partition {
+
+using ht::hypergraph::EdgeId;
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+
+namespace {
+
+/// Incremental gain structure: pin counts per side plus per-vertex gains,
+/// updated only for the pins of edges whose cut state can change.
+class GainTracker {
+ public:
+  GainTracker(const Hypergraph& h, const std::vector<bool>& side)
+      : h_(h), side_(side) {
+    pins_on_one_.assign(static_cast<std::size_t>(h.num_edges()), 0);
+    for (EdgeId e = 0; e < h.num_edges(); ++e)
+      for (VertexId v : h.pins(e))
+        pins_on_one_[static_cast<std::size_t>(e)] +=
+            side[static_cast<std::size_t>(v)] ? 1 : 0;
+    gain_.assign(static_cast<std::size_t>(h.num_vertices()), 0.0);
+    for (VertexId v = 0; v < h.num_vertices(); ++v)
+      gain_[static_cast<std::size_t>(v)] = compute_gain(v);
+  }
+
+  double gain(VertexId v) const { return gain_[static_cast<std::size_t>(v)]; }
+  bool on_one(VertexId v) const { return side_[static_cast<std::size_t>(v)]; }
+  const std::vector<bool>& side() const { return side_; }
+
+  /// Applies the move and returns the vertices whose gain changed.
+  std::vector<VertexId> apply_move(VertexId v) {
+    std::vector<VertexId> dirty;
+    const bool from_one = side_[static_cast<std::size_t>(v)];
+    for (EdgeId e : h_.incident_edges(v)) {
+      const auto idx = static_cast<std::size_t>(e);
+      const std::int32_t size = h_.edge_size(e);
+      const std::int32_t ones_before = pins_on_one_[idx];
+      const std::int32_t ones_after = ones_before + (from_one ? -1 : 1);
+      pins_on_one_[idx] = ones_after;
+      // Gains of an edge's pins only change when the edge is near a
+      // critical state (0, 1, size-1 or size pins on a side).
+      const bool critical =
+          ones_before <= 1 || ones_before >= size - 1 || ones_after <= 1 ||
+          ones_after >= size - 1;
+      if (critical)
+        for (VertexId u : h_.pins(e)) dirty.push_back(u);
+    }
+    side_[static_cast<std::size_t>(v)] = !from_one;
+    dirty.push_back(v);
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    for (VertexId u : dirty)
+      gain_[static_cast<std::size_t>(u)] = compute_gain(u);
+    return dirty;
+  }
+
+  double cut() const {
+    double total = 0.0;
+    for (EdgeId e = 0; e < h_.num_edges(); ++e) {
+      const auto ones = pins_on_one_[static_cast<std::size_t>(e)];
+      if (ones > 0 && ones < h_.edge_size(e)) total += h_.edge_weight(e);
+    }
+    return total;
+  }
+
+ private:
+  double compute_gain(VertexId v) const {
+    const bool from_one = side_[static_cast<std::size_t>(v)];
+    double g = 0.0;
+    for (EdgeId e : h_.incident_edges(v)) {
+      const auto idx = static_cast<std::size_t>(e);
+      const std::int32_t size = h_.edge_size(e);
+      const std::int32_t on_my_side =
+          from_one ? pins_on_one_[idx] : size - pins_on_one_[idx];
+      const std::int32_t on_other = size - on_my_side;
+      if (on_my_side == 1 && on_other > 0) g += h_.edge_weight(e);
+      if (on_other == 0) g -= h_.edge_weight(e);
+    }
+    return g;
+  }
+
+  const Hypergraph& h_;
+  std::vector<bool> side_;
+  std::vector<std::int32_t> pins_on_one_;
+  std::vector<double> gain_;
+};
+
+}  // namespace
+
+BisectionSolution fm_refine_fast(const Hypergraph& h,
+                                 std::vector<bool> start, int max_passes) {
+  HT_CHECK(h.finalized());
+  const VertexId n = h.num_vertices();
+  HT_CHECK(n % 2 == 0 && n >= 2);
+  HT_CHECK(start.size() == static_cast<std::size_t>(n));
+  const VertexId half = n / 2;
+  {
+    VertexId ones = 0;
+    for (bool s : start) ones += s ? 1 : 0;
+    HT_CHECK_MSG(ones == half, "start partition unbalanced");
+  }
+
+  BisectionSolution best;
+  best.side = std::move(start);
+  best.cut = h.cut_weight(best.side);
+  best.valid = true;
+
+  using HeapItem = std::pair<double, VertexId>;  // (gain, vertex)
+  for (int pass = 0; pass < max_passes; ++pass) {
+    GainTracker tracker(h, best.side);
+    VertexId on_one = half;
+    std::vector<bool> locked(static_cast<std::size_t>(n), false);
+    std::priority_queue<HeapItem> heap;
+    for (VertexId v = 0; v < n; ++v) heap.push({tracker.gain(v), v});
+
+    double cut = best.cut;
+    std::vector<VertexId> sequence;
+    std::vector<double> cut_after;
+    sequence.reserve(static_cast<std::size_t>(n));
+
+    while (!heap.empty()) {
+      // Pop the best admissible, non-stale, unlocked vertex.
+      VertexId v = -1;
+      std::vector<HeapItem> deferred;
+      while (!heap.empty()) {
+        const auto [g, u] = heap.top();
+        heap.pop();
+        if (locked[static_cast<std::size_t>(u)]) continue;
+        if (g != tracker.gain(u)) {
+          heap.push({tracker.gain(u), u});  // refresh stale entry
+          continue;
+        }
+        const VertexId next_on_one =
+            on_one + (tracker.on_one(u) ? -1 : 1);
+        if (std::abs(next_on_one - half) > 1) {
+          deferred.push_back({g, u});
+          continue;
+        }
+        v = u;
+        break;
+      }
+      for (const auto& item : deferred) heap.push(item);
+      if (v == -1) break;
+      cut -= tracker.gain(v);
+      on_one += tracker.on_one(v) ? -1 : 1;
+      locked[static_cast<std::size_t>(v)] = true;
+      for (VertexId u : tracker.apply_move(v)) {
+        if (!locked[static_cast<std::size_t>(u)])
+          heap.push({tracker.gain(u), u});
+      }
+      sequence.push_back(v);
+      cut_after.push_back(on_one == half ? cut : 1e300);
+    }
+
+    std::size_t best_prefix = 0;
+    double best_prefix_cut = best.cut;
+    for (std::size_t i = 0; i < cut_after.size(); ++i) {
+      if (cut_after[i] < best_prefix_cut - 1e-12) {
+        best_prefix_cut = cut_after[i];
+        best_prefix = i + 1;
+      }
+    }
+    if (best_prefix == 0) break;
+    for (std::size_t i = 0; i < best_prefix; ++i) {
+      const auto v = static_cast<std::size_t>(sequence[i]);
+      best.side[v] = !best.side[v];
+    }
+    best.cut = best_prefix_cut;
+  }
+  best.cut = h.cut_weight(best.side);
+  return best;
+}
+
+BisectionSolution fm_bisection_fast(const Hypergraph& h, ht::Rng& rng,
+                                    int starts, int max_passes) {
+  HT_CHECK(h.num_vertices() % 2 == 0 && h.num_vertices() >= 2);
+  const VertexId n = h.num_vertices();
+  BisectionSolution best;
+  for (int s = 0; s < starts; ++s) {
+    std::vector<VertexId> perm(static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+    rng.shuffle(perm);
+    std::vector<bool> side(static_cast<std::size_t>(n), false);
+    for (VertexId i = 0; i < n / 2; ++i)
+      side[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = true;
+    BisectionSolution sol = fm_refine_fast(h, std::move(side), max_passes);
+    if (!best.valid || sol.cut < best.cut) best = std::move(sol);
+  }
+  return best;
+}
+
+}  // namespace ht::partition

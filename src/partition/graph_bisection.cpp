@@ -1,0 +1,80 @@
+#include "partition/graph_bisection.hpp"
+
+#include "cuttree/decomposition_tree.hpp"
+#include "cuttree/tree_edge_partition.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace ht::partition {
+
+using ht::graph::Graph;
+using ht::graph::VertexId;
+
+namespace {
+
+ht::cuttree::Tree decomposition_of(const Graph& g, std::uint64_t seed) {
+  ht::cuttree::DecompositionOptions options;
+  options.seed = seed;
+  return ht::cuttree::build_decomposition_tree(g, options);
+}
+
+std::vector<ht::cuttree::VertexId> all_vertices(VertexId n) {
+  std::vector<ht::cuttree::VertexId> out(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) out[static_cast<std::size_t>(v)] = v;
+  return out;
+}
+
+ht::hypergraph::Hypergraph wrap(const Graph& g) {
+  ht::hypergraph::Hypergraph wrapper(g.num_vertices());
+  for (const auto& e : g.edges()) wrapper.add_edge({e.u, e.v}, e.weight);
+  wrapper.finalize();
+  return wrapper;
+}
+
+}  // namespace
+
+BisectionSolution graph_bisection_tree_based(const Graph& g, ht::Rng& rng,
+                                             bool fm_polish) {
+  HT_CHECK(g.finalized());
+  const VertexId n = g.num_vertices();
+  HT_CHECK(n >= 2 && n % 2 == 0);
+  const auto tree = decomposition_of(g, rng());
+  const auto dp =
+      ht::cuttree::balanced_tree_edge_bisection(tree, all_vertices(n));
+  HT_CHECK_MSG(dp.valid, "tree bisection DP infeasible");
+  BisectionSolution sol;
+  sol.side.assign(static_cast<std::size_t>(n), false);
+  for (VertexId v = 0; v < n; ++v)
+    sol.side[static_cast<std::size_t>(v)] = dp.side[static_cast<std::size_t>(v)];
+  sol.valid = true;
+  sol.cut = g.cut_weight(sol.side);
+  // Domination: the graph cut of the leaf assignment never exceeds the
+  // tree cut the DP optimized (union bound over the laminar family).
+  HT_CHECK(sol.cut <= dp.tree_cut + 1e-6);
+  if (fm_polish && g.num_edges() > 0) {
+    const auto wrapper = wrap(g);
+    BisectionSolution refined = fm_refine(wrapper, sol.side);
+    if (refined.cut < sol.cut) sol = std::move(refined);
+  }
+  return sol;
+}
+
+KCutResult unbalanced_kcut_graph_tree_based(const Graph& g, std::int32_t k,
+                                            ht::Rng& rng) {
+  HT_CHECK(g.finalized());
+  const VertexId n = g.num_vertices();
+  HT_CHECK(1 <= k && k < n);
+  const auto tree = decomposition_of(g, rng());
+  const auto dp = ht::cuttree::tree_edge_partition(tree, all_vertices(n), k);
+  KCutResult out;
+  if (!dp.valid) return out;
+  for (VertexId v = 0; v < n; ++v)
+    if (dp.side[static_cast<std::size_t>(v)]) out.set.push_back(v);
+  std::vector<bool> side(static_cast<std::size_t>(n), false);
+  for (VertexId v : out.set) side[static_cast<std::size_t>(v)] = true;
+  out.cut = g.cut_weight(side);
+  out.valid = true;
+  HT_CHECK(out.cut <= dp.tree_cut + 1e-6);
+  return out;
+}
+
+}  // namespace ht::partition

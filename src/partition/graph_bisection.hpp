@@ -1,0 +1,29 @@
+// Graph Minimum Bisection engines — the O(log n) black box the paper's
+// Theorem 2 (small-edge branch) and Proposition 1 invoke.
+//
+// The faithful pipeline (mirroring [17]): build a decomposition tree of
+// the graph, solve the bisection exactly ON the tree with the balanced
+// edge-cut DP, and read back the leaf sides; optionally refine with FM.
+// A pure FM multi-start is provided as the practitioner baseline, and an
+// analogous tree DP with target k provides the unbalanced k-cut on graphs.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "partition/fm.hpp"
+#include "partition/unbalanced_kcut.hpp"
+#include "util/rng.hpp"
+
+namespace ht::partition {
+
+/// Decomposition-tree graph bisection ([17]-style pipeline), with an FM
+/// polish pass. Requires an even number of vertices.
+BisectionSolution graph_bisection_tree_based(const ht::graph::Graph& g,
+                                             ht::Rng& rng,
+                                             bool fm_polish = true);
+
+/// Unbalanced k-cut on a graph through the decomposition tree DP
+/// (Proposition 1's subroutine); the returned cut is re-evaluated in g.
+KCutResult unbalanced_kcut_graph_tree_based(const ht::graph::Graph& g,
+                                            std::int32_t k, ht::Rng& rng);
+
+}  // namespace ht::partition

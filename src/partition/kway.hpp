@@ -1,0 +1,53 @@
+// Balanced k-way hypergraph partitioning built from the bisection engines.
+//
+// The paper's introduction motivates partitioning into one part per
+// processor; its results are for k = 2. This module provides the two
+// standard lifts a practitioner would build on top:
+//   * recursive bisection (k a power of two), reusing any bisection engine;
+//   * peeling (arbitrary k), repeatedly extracting n/k vertices with the
+//     unbalanced k-cut portfolio (Section 2.1's primitive).
+// Both report the two standard objectives: plain cut (hyperedges touching
+// >= 2 parts) and connectivity (sum over hyperedges of (parts touched - 1)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace ht::partition {
+
+struct KWaySolution {
+  std::vector<std::int32_t> part;  // part id per vertex, in [0, k)
+  std::int32_t k = 0;
+  double cut = 0.0;           // weight of hyperedges spanning >= 2 parts
+  double connectivity = 0.0;  // sum_e w(e) * (lambda(e) - 1)
+  bool valid = false;
+};
+
+/// Recomputes both objectives and checks balance (each part exactly n/k).
+void validate_kway(const ht::hypergraph::Hypergraph& h,
+                   const KWaySolution& solution);
+
+/// Objectives of an arbitrary assignment.
+double kway_cut(const ht::hypergraph::Hypergraph& h,
+                const std::vector<std::int32_t>& part);
+double kway_connectivity(const ht::hypergraph::Hypergraph& h,
+                         const std::vector<std::int32_t>& part);
+
+/// Recursive bisection with the FM engine. k must be a power of two and
+/// divide n.
+KWaySolution kway_recursive_bisection(const ht::hypergraph::Hypergraph& h,
+                                      std::int32_t k, ht::Rng& rng);
+
+/// Peeling: extract n/k vertices k-1 times with the unbalanced k-cut
+/// portfolio. k must divide n.
+KWaySolution kway_peel(const ht::hypergraph::Hypergraph& h, std::int32_t k,
+                       ht::Rng& rng);
+
+/// Random balanced assignment baseline.
+KWaySolution kway_random(const ht::hypergraph::Hypergraph& h, std::int32_t k,
+                         ht::Rng& rng);
+
+}  // namespace ht::partition

@@ -1,0 +1,42 @@
+// Approximate min-ratio vertex cut (vertex separator sparsity).
+//
+// The paper's cut-tree construction (Section 3.1) consumes an
+// alpha-approximate min-ratio vertex cut oracle; the cited black box is the
+// O(sqrt(log n)) SDP algorithm of Feige–Hajiaghayi–Lee [6]. Our surrogate
+// (per DESIGN.md): exact enumeration for small graphs, spectral sweep +
+// exact (A,B) vertex-cut flows + local improvement for larger graphs. The
+// achieved alpha is measured by tests/benches against the exact optimum on
+// small instances.
+//
+// Sparsity of a separator (A, B, X):  w(X) / (min{w(A), w(B)} + w(X)).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ht::partition {
+
+struct VertexSeparator {
+  std::vector<ht::graph::VertexId> a;  // one side (no X vertices)
+  std::vector<ht::graph::VertexId> b;  // other side
+  std::vector<ht::graph::VertexId> x;  // the separator
+  double sparsity = 0.0;
+  bool valid = false;  // false when the graph has no separator (clique-like)
+};
+
+/// Recomputes the sparsity of (A, B, X) from vertex weights; checks that X
+/// actually separates A from B and that the three sets partition V.
+double separator_sparsity(const ht::graph::Graph& g,
+                          const VertexSeparator& sep);
+
+/// Exact optimum by exhaustive enumeration of separators (n <= ~16).
+VertexSeparator min_ratio_vertex_cut_exact(const ht::graph::Graph& g);
+
+/// Heuristic oracle for arbitrary sizes: Fiedler sweep generating (A,B)
+/// candidate pairs, exact minimum vertex cut for each candidate, greedy
+/// side-rebalancing. Deterministic given the seed.
+VertexSeparator min_ratio_vertex_cut(const ht::graph::Graph& g, ht::Rng& rng);
+
+}  // namespace ht::partition

@@ -1,0 +1,148 @@
+#include "partition/mku.hpp"
+
+#include <algorithm>
+
+#include "reduction/mku_bisection.hpp"
+#include "util/subsets.hpp"
+
+namespace ht::partition {
+
+using ht::hypergraph::EdgeId;
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+
+namespace {
+
+/// Coverage state: per-vertex multiplicity under the chosen sets, with the
+/// current union weight maintained incrementally.
+class UnionState {
+ public:
+  explicit UnionState(const Hypergraph& h) : h_(h) {
+    multiplicity_.assign(static_cast<std::size_t>(h.num_vertices()), 0);
+  }
+
+  double union_weight() const { return union_weight_; }
+
+  double add_cost(EdgeId e) const {
+    double cost = 0.0;
+    for (VertexId v : h_.pins(e))
+      if (multiplicity_[static_cast<std::size_t>(v)] == 0)
+        cost += h_.vertex_weight(v);
+    return cost;
+  }
+
+  void add(EdgeId e) {
+    for (VertexId v : h_.pins(e)) {
+      if (multiplicity_[static_cast<std::size_t>(v)]++ == 0)
+        union_weight_ += h_.vertex_weight(v);
+    }
+  }
+
+  void remove(EdgeId e) {
+    for (VertexId v : h_.pins(e)) {
+      if (--multiplicity_[static_cast<std::size_t>(v)] == 0)
+        union_weight_ -= h_.vertex_weight(v);
+    }
+  }
+
+ private:
+  const Hypergraph& h_;
+  std::vector<std::int32_t> multiplicity_;
+  double union_weight_ = 0.0;
+};
+
+}  // namespace
+
+MkuSolution mku_greedy(const Hypergraph& h, std::int32_t k) {
+  HT_CHECK(h.finalized());
+  HT_CHECK(1 <= k && k <= h.num_edges());
+  UnionState state(h);
+  std::vector<bool> chosen(static_cast<std::size_t>(h.num_edges()), false);
+  MkuSolution out;
+  for (std::int32_t round = 0; round < k; ++round) {
+    EdgeId best = -1;
+    double best_cost = 0.0;
+    for (EdgeId e = 0; e < h.num_edges(); ++e) {
+      if (chosen[static_cast<std::size_t>(e)]) continue;
+      const double cost = state.add_cost(e);
+      if (best == -1 || cost < best_cost) {
+        best = e;
+        best_cost = cost;
+      }
+    }
+    HT_CHECK(best != -1);
+    chosen[static_cast<std::size_t>(best)] = true;
+    state.add(best);
+    out.sets.push_back(best);
+  }
+  out.union_weight = state.union_weight();
+  out.valid = true;
+  return out;
+}
+
+MkuSolution mku_local_search(const Hypergraph& h, std::int32_t k,
+                             int max_rounds) {
+  MkuSolution sol = mku_greedy(h, k);
+  UnionState state(h);
+  std::vector<bool> chosen(static_cast<std::size_t>(h.num_edges()), false);
+  for (EdgeId e : sol.sets) {
+    chosen[static_cast<std::size_t>(e)] = true;
+    state.add(e);
+  }
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (std::size_t i = 0; i < sol.sets.size() && !improved; ++i) {
+      const EdgeId drop = sol.sets[i];
+      state.remove(drop);
+      const double without = state.union_weight();
+      const double current = sol.union_weight;
+      EdgeId best_add = -1;
+      double best_total = current;
+      for (EdgeId e = 0; e < h.num_edges(); ++e) {
+        if (chosen[static_cast<std::size_t>(e)] && e != drop) continue;
+        if (e == drop) continue;
+        const double total = without + state.add_cost(e);
+        if (total < best_total - 1e-12) {
+          best_total = total;
+          best_add = e;
+        }
+      }
+      if (best_add != -1) {
+        chosen[static_cast<std::size_t>(drop)] = false;
+        chosen[static_cast<std::size_t>(best_add)] = true;
+        state.add(best_add);
+        sol.sets[i] = best_add;
+        sol.union_weight = state.union_weight();
+        improved = true;
+      } else {
+        state.add(drop);  // revert
+      }
+    }
+    if (!improved) break;
+  }
+  sol.union_weight = ht::reduction::mku_union_weight(h, sol.sets);
+  return sol;
+}
+
+MkuSolution mku_exact(const Hypergraph& h, std::int32_t k) {
+  HT_CHECK(h.finalized());
+  const std::int32_t m = h.num_edges();
+  HT_CHECK(1 <= k && k <= m);
+  double combos = 1.0;
+  for (std::int32_t i = 0; i < k; ++i)
+    combos *= static_cast<double>(m - i) / static_cast<double>(i + 1);
+  HT_CHECK_MSG(combos <= 6e6, "C(m,k) too large for exact MkU");
+  MkuSolution best;
+  ht::for_each_combination(m, k, [&](const std::vector<int>& idx) {
+    std::vector<EdgeId> sets(idx.begin(), idx.end());
+    const double w = ht::reduction::mku_union_weight(h, sets);
+    if (!best.valid || w < best.union_weight) {
+      best.sets = std::move(sets);
+      best.union_weight = w;
+      best.valid = true;
+    }
+  });
+  return best;
+}
+
+}  // namespace ht::partition

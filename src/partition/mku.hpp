@@ -1,0 +1,35 @@
+// Minimizing k-Union solvers.
+//
+// MkU (Chlamtáč–Dinitz–Makarychev [5]) is both a special case of
+// unbalanced k-cut (all hyperedges larger than k) and the source problem
+// of the Theorem 3 hardness reduction. Greedy + swap local search stand in
+// for the ~O(n^{a(1-a)}) black box of Proposition 2 (DESIGN.md); exact
+// enumeration covers small instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace ht::partition {
+
+struct MkuSolution {
+  std::vector<ht::hypergraph::EdgeId> sets;  // chosen hyperedges
+  double union_weight = 0.0;
+  bool valid = false;
+};
+
+/// Greedy: k rounds, each picking the set with the smallest marginal
+/// union increase.
+MkuSolution mku_greedy(const ht::hypergraph::Hypergraph& h, std::int32_t k);
+
+/// Greedy followed by (drop, add) swap local search.
+MkuSolution mku_local_search(const ht::hypergraph::Hypergraph& h,
+                             std::int32_t k, int max_rounds = 8);
+
+/// Exact optimum over all C(m, k) combinations (small instances only).
+MkuSolution mku_exact(const ht::hypergraph::Hypergraph& h, std::int32_t k);
+
+}  // namespace ht::partition

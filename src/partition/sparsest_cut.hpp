@@ -1,0 +1,34 @@
+// Sparsest hyperedge cut oracle.
+//
+// Phase 1 of Theorem 1 recursively peels pieces off the hypergraph using a
+// sparsest-cut subroutine; the paper cites the polylogarithmic hypergraph
+// algorithm of Louis–Makarychev [13]. Surrogate (DESIGN.md): Fiedler sweep
+// on the clique expansion, evaluating the *hypergraph* cut incrementally at
+// every prefix, followed by greedy single-vertex improvement; exact
+// enumeration for small instances. Sparsity here is cut(S) / |S| with S the
+// smaller side (cardinality), matching Section 2.2.
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace ht::partition {
+
+struct SparsestCutResult {
+  std::vector<ht::hypergraph::VertexId> smaller_side;
+  double cut = 0.0;
+  double sparsity = 0.0;
+  bool valid = false;
+};
+
+/// Exact optimum by subset enumeration (n <= 20).
+SparsestCutResult sparsest_hyperedge_cut_exact(
+    const ht::hypergraph::Hypergraph& h);
+
+/// Heuristic oracle: spectral sweep + greedy improvement.
+SparsestCutResult sparsest_hyperedge_cut(const ht::hypergraph::Hypergraph& h,
+                                         ht::Rng& rng);
+
+}  // namespace ht::partition

@@ -1,0 +1,356 @@
+#include "partition/unbalanced_kcut.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/gomory_hu.hpp"
+#include "lp/spectral.hpp"
+#include "partition/cut_tracker.hpp"
+#include "partition/graph_bisection.hpp"
+#include "reduction/clique_expansion.hpp"
+#include "util/subsets.hpp"
+
+namespace ht::partition {
+
+using ht::hypergraph::EdgeId;
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+
+namespace {
+
+std::vector<VertexId> side_to_set(const std::vector<bool>& side) {
+  std::vector<VertexId> set;
+  for (std::size_t v = 0; v < side.size(); ++v)
+    if (side[v]) set.push_back(static_cast<VertexId>(v));
+  return set;
+}
+
+/// Records the best cost/set per size as a construction walks through
+/// sides of varying cardinality.
+class ProfileRecorder {
+ public:
+  explicit ProfileRecorder(std::int32_t kmax) {
+    profile_.cost.assign(static_cast<std::size_t>(kmax) + 1, 1e300);
+    profile_.sets.resize(static_cast<std::size_t>(kmax) + 1);
+    profile_.cost[0] = 0.0;
+  }
+
+  void offer(const CutTracker& tracker) {
+    const std::int64_t k = tracker.side_count();
+    if (k < 1 || k >= static_cast<std::int64_t>(profile_.cost.size())) return;
+    const auto idx = static_cast<std::size_t>(k);
+    if (tracker.cut() < profile_.cost[idx]) {
+      profile_.cost[idx] = tracker.cut();
+      profile_.sets[idx] = side_to_set(tracker.side());
+    }
+  }
+
+  void offer_set(const Hypergraph& h, const std::vector<VertexId>& set) {
+    if (set.empty() ||
+        set.size() >= profile_.cost.size())
+      return;
+    const double cut = h.cut_weight(set);
+    if (cut < profile_.cost[set.size()]) {
+      profile_.cost[set.size()] = cut;
+      profile_.sets[set.size()] = set;
+    }
+  }
+
+  KCutProfile take() { return std::move(profile_); }
+  const KCutProfile& peek() const { return profile_; }
+
+ private:
+  KCutProfile profile_;
+};
+
+/// Greedy growth from a seed: repeatedly add the vertex with the smallest
+/// cut increase (boundary candidates first, all vertices as fallback),
+/// recording every intermediate size.
+void greedy_growth(const Hypergraph& h, VertexId seed, std::int32_t kmax,
+                   ProfileRecorder& recorder) {
+  const VertexId n = h.num_vertices();
+  CutTracker tracker(h);
+  tracker.build(std::vector<bool>(static_cast<std::size_t>(n), false));
+  tracker.flip(seed);
+  recorder.offer(tracker);
+  std::vector<bool> is_boundary(static_cast<std::size_t>(n), false);
+  auto refresh_boundary = [&](VertexId just_added) {
+    for (EdgeId e : h.incident_edges(just_added))
+      for (VertexId u : h.pins(e))
+        if (!tracker.on_side(u)) is_boundary[static_cast<std::size_t>(u)] = true;
+  };
+  refresh_boundary(seed);
+  for (std::int32_t step = 1; step < kmax && step < n - 1; ++step) {
+    VertexId best_v = -1;
+    double best_delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (tracker.on_side(v)) continue;
+      if (!is_boundary[static_cast<std::size_t>(v)]) continue;
+      const double delta = tracker.flip_delta(v);
+      if (best_v == -1 || delta < best_delta) {
+        best_v = v;
+        best_delta = delta;
+      }
+    }
+    if (best_v == -1) {
+      // No boundary candidates (disconnected remainder): take any vertex.
+      for (VertexId v = 0; v < n; ++v) {
+        if (!tracker.on_side(v)) {
+          best_v = v;
+          break;
+        }
+      }
+    }
+    if (best_v == -1) break;
+    tracker.flip(best_v);
+    is_boundary[static_cast<std::size_t>(best_v)] = false;
+    refresh_boundary(best_v);
+    recorder.offer(tracker);
+  }
+}
+
+/// Swap local search at fixed cardinality: first-improvement over
+/// (drop s, add t) pairs restricted to boundary vertices.
+std::vector<VertexId> swap_improve(const Hypergraph& h,
+                                   std::vector<VertexId> set,
+                                   int max_rounds) {
+  const VertexId n = h.num_vertices();
+  if (set.empty() || static_cast<VertexId>(set.size()) >= n) return set;
+  CutTracker tracker(h);
+  std::vector<bool> side(static_cast<std::size_t>(n), false);
+  for (VertexId v : set) side[static_cast<std::size_t>(v)] = true;
+  tracker.build(side);
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (VertexId s = 0; s < n && !improved; ++s) {
+      if (!tracker.on_side(s)) continue;
+      const double drop_delta = tracker.flip_delta(s);
+      tracker.flip(s);
+      for (VertexId t = 0; t < n; ++t) {
+        if (t == s || tracker.on_side(t)) continue;
+        const double add_delta = tracker.flip_delta(t);
+        if (drop_delta + add_delta < -1e-12) {
+          tracker.flip(t);
+          improved = true;
+          break;
+        }
+      }
+      if (!improved) tracker.flip(s);  // undo the drop
+    }
+    if (!improved) break;
+  }
+  return side_to_set(tracker.side());
+}
+
+void sweep_profile(const Hypergraph& h, const std::vector<VertexId>& order,
+                   std::int32_t kmax, ProfileRecorder& recorder) {
+  CutTracker tracker(h);
+  tracker.build(
+      std::vector<bool>(static_cast<std::size_t>(h.num_vertices()), false));
+  const auto limit = std::min<std::int64_t>(kmax, h.num_vertices() - 1);
+  for (std::int64_t i = 0; i < limit; ++i) {
+    tracker.flip(order[static_cast<std::size_t>(i)]);
+    recorder.offer(tracker);
+  }
+}
+
+std::vector<VertexId> fiedler_order(const Hypergraph& h, ht::Rng& rng) {
+  const ht::graph::Graph expansion = ht::reduction::clique_expansion(h);
+  std::vector<VertexId> order(static_cast<std::size_t>(h.num_vertices()));
+  for (VertexId v = 0; v < h.num_vertices(); ++v)
+    order[static_cast<std::size_t>(v)] = v;
+  if (expansion.num_edges() == 0) return order;
+  const auto fiedler = ht::lp::fiedler_vector(expansion, {}, rng);
+  std::sort(order.begin(), order.end(), [&](VertexId l, VertexId r) {
+    return fiedler.vector[static_cast<std::size_t>(l)] <
+           fiedler.vector[static_cast<std::size_t>(r)];
+  });
+  return order;
+}
+
+std::vector<VertexId> profile_seeds(const Hypergraph& h, ht::Rng& rng,
+                                    std::size_t count) {
+  const VertexId n = h.num_vertices();
+  std::vector<VertexId> seeds;
+  VertexId lo = 0, hi = 0;
+  for (VertexId v = 1; v < n; ++v) {
+    if (h.degree(v) < h.degree(lo)) lo = v;
+    if (h.degree(v) > h.degree(hi)) hi = v;
+  }
+  seeds.push_back(lo);
+  if (hi != lo) seeds.push_back(hi);
+  while (seeds.size() < count) {
+    const auto v = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    if (std::find(seeds.begin(), seeds.end(), v) == seeds.end())
+      seeds.push_back(v);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+KCutResult unbalanced_kcut_exact(const Hypergraph& h, std::int32_t k) {
+  HT_CHECK(h.finalized());
+  const VertexId n = h.num_vertices();
+  HT_CHECK(1 <= k && k < n);
+  // Guard against combinatorial blow-up.
+  double combos = 1.0;
+  for (std::int32_t i = 0; i < k; ++i)
+    combos *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  HT_CHECK_MSG(combos <= 6e6, "C(n,k) too large for exact k-cut");
+  KCutResult best;
+  ht::for_each_combination(n, k, [&](const std::vector<int>& idx) {
+    std::vector<VertexId> set(idx.begin(), idx.end());
+    const double cut = h.cut_weight(set);
+    if (!best.valid || cut < best.cut) {
+      best.set = set;
+      best.cut = cut;
+      best.valid = true;
+    }
+  });
+  return best;
+}
+
+KCutProfile unbalanced_kcut_profile(const Hypergraph& h, std::int32_t kmax,
+                                    ht::Rng& rng) {
+  HT_CHECK(h.finalized());
+  const VertexId n = h.num_vertices();
+  kmax = std::min<std::int32_t>(kmax, n - 1);
+  HT_CHECK(kmax >= 0);
+  ProfileRecorder recorder(kmax);
+  if (kmax == 0 || n < 2) return recorder.take();
+  for (VertexId seed : profile_seeds(h, rng, n > 64 ? 4 : 2))
+    greedy_growth(h, seed, kmax, recorder);
+  const auto order = fiedler_order(h, rng);
+  sweep_profile(h, order, kmax, recorder);
+  std::vector<VertexId> reversed(order.rbegin(), order.rend());
+  sweep_profile(h, reversed, kmax, recorder);
+  return recorder.take();
+}
+
+KCutResult unbalanced_kcut(const Hypergraph& h, std::int32_t k,
+                           ht::Rng& rng) {
+  HT_CHECK(1 <= k && k < h.num_vertices());
+  KCutProfile profile = unbalanced_kcut_profile(h, k, rng);
+  KCutResult out;
+  if (profile.sets[static_cast<std::size_t>(k)].empty()) return out;
+  out.set = swap_improve(h, profile.sets[static_cast<std::size_t>(k)], 8);
+  out.cut = h.cut_weight(out.set);
+  out.valid = true;
+  return out;
+}
+
+KCutResult unbalanced_kcut_via_clique_expansion(const Hypergraph& h,
+                                                std::int32_t k,
+                                                ht::Rng& rng) {
+  HT_CHECK(1 <= k && k < h.num_vertices());
+  const ht::graph::Graph expansion = ht::reduction::clique_expansion(h);
+  // Wrap the expansion as a 2-uniform hypergraph so the same portfolio
+  // optimizes delta_G'.
+  Hypergraph wrapper(expansion.num_vertices());
+  for (const auto& e : expansion.edges())
+    wrapper.add_edge({e.u, e.v}, e.weight);
+  wrapper.finalize();
+  KCutResult graph_best = unbalanced_kcut(wrapper, k, rng);
+  KCutResult out;
+  if (!graph_best.valid) return out;
+  out.set = std::move(graph_best.set);
+  out.cut = h.cut_weight(out.set);  // cost mapped back to the hypergraph
+  out.valid = true;
+  return out;
+}
+
+KCutResult unbalanced_kcut_graph(const ht::graph::Graph& g, std::int32_t k,
+                                 ht::Rng& rng) {
+  HT_CHECK(g.finalized());
+  HT_CHECK(1 <= k && k < g.num_vertices());
+  Hypergraph wrapper(g.num_vertices());
+  for (const auto& e : g.edges()) wrapper.add_edge({e.u, e.v}, e.weight);
+  wrapper.finalize();
+  KCutResult best = unbalanced_kcut(wrapper, k, rng);
+
+  // Decomposition-tree DP candidate (the [17]-style subroutine of
+  // Proposition 1).
+  if (g.num_edges() > 0) {
+    KCutResult tree_candidate = unbalanced_kcut_graph_tree_based(g, k, rng);
+    if (tree_candidate.valid &&
+        (!best.valid || tree_candidate.cut < best.cut)) {
+      best = std::move(tree_candidate);
+    }
+  }
+
+  // Gomory–Hu candidates: the lighter side of each tree edge is a
+  // known-good region; grow or shrink it greedily to exactly k.
+  if (g.num_edges() > 0 && ht::graph::is_connected(g) &&
+      g.num_vertices() <= 512) {
+    const auto tree = ht::flow::gomory_hu(g);
+    const auto tree_graph = tree.as_graph();
+    for (ht::graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (tree.parent[static_cast<std::size_t>(v)] == -1) continue;
+      // Side of v when removing the (v, parent) tree edge.
+      std::vector<bool> removed_edge_side(
+          static_cast<std::size_t>(g.num_vertices()), false);
+      // BFS in the tree from v avoiding the parent edge.
+      std::vector<ht::graph::VertexId> stack{v};
+      removed_edge_side[static_cast<std::size_t>(v)] = true;
+      while (!stack.empty()) {
+        const auto x = stack.back();
+        stack.pop_back();
+        for (const auto& adj : tree_graph.neighbors(x)) {
+          if (x == v && adj.to == tree.parent[static_cast<std::size_t>(v)])
+            continue;
+          if (removed_edge_side[static_cast<std::size_t>(adj.to)]) continue;
+          // Do not cross back over the removed edge from the far side.
+          if (adj.to == tree.parent[static_cast<std::size_t>(v)] && x == v)
+            continue;
+          removed_edge_side[static_cast<std::size_t>(adj.to)] = true;
+          stack.push_back(adj.to);
+        }
+      }
+      // Keep only candidates near k; adjust to exactly k by greedy flips.
+      std::int64_t size = 0;
+      for (bool b : removed_edge_side) size += b ? 1 : 0;
+      if (size == 0 || size >= g.num_vertices()) continue;
+      if (std::llabs(size - k) > std::max<std::int64_t>(4, k)) continue;
+      CutTracker tracker(wrapper);
+      tracker.build(removed_edge_side);
+      while (tracker.side_count() > k) {
+        ht::graph::VertexId pick = -1;
+        double best_delta = 0.0;
+        for (ht::graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+          if (!tracker.on_side(u)) continue;
+          const double d = tracker.flip_delta(u);
+          if (pick == -1 || d < best_delta) {
+            pick = u;
+            best_delta = d;
+          }
+        }
+        tracker.flip(pick);
+      }
+      while (tracker.side_count() < k) {
+        ht::graph::VertexId pick = -1;
+        double best_delta = 0.0;
+        for (ht::graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+          if (tracker.on_side(u)) continue;
+          const double d = tracker.flip_delta(u);
+          if (pick == -1 || d < best_delta) {
+            pick = u;
+            best_delta = d;
+          }
+        }
+        tracker.flip(pick);
+      }
+      std::vector<ht::graph::VertexId> set = side_to_set(tracker.side());
+      const double cut = wrapper.cut_weight(set);
+      if (!best.valid || cut < best.cut) {
+        best.set = std::move(set);
+        best.cut = cut;
+        best.valid = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ht::partition

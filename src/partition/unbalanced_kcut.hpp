@@ -1,0 +1,61 @@
+// Unbalanced k-cut: remove exactly k vertices minimizing the (hyper)edge
+// cut between them and the rest.
+//
+// Section 2.1 reduces the hypergraph problem to graphs via Lemma 1's clique
+// expansion (Proposition 1); phase 2 of Theorem 1 consumes per-piece cost
+// profiles c_i(k) for all k at once. The cited O(log n) graph subroutine
+// (Räcke decomposition trees [17]) is replaced by a portfolio of candidate
+// generators — greedy growth, spectral sweep prefixes, Gomory–Hu subtree
+// packing — plus swap local search; every candidate is re-evaluated with
+// the exact combinatorial cut. Exact enumeration covers small instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace ht::partition {
+
+struct KCutResult {
+  std::vector<ht::hypergraph::VertexId> set;  // the k removed vertices
+  double cut = 0.0;                           // delta(set) in the input
+  bool valid = false;
+};
+
+/// Cost profile: cost[k] and witness set for every k in [0, kmax].
+/// cost[0] == 0 with an empty set.
+struct KCutProfile {
+  std::vector<double> cost;
+  std::vector<std::vector<ht::hypergraph::VertexId>> sets;
+};
+
+/// Exact optimum by combination enumeration; C(n, k) must be modest.
+KCutResult unbalanced_kcut_exact(const ht::hypergraph::Hypergraph& h,
+                                 std::int32_t k);
+
+/// Heuristic for a single k on a hypergraph (native greedy + sweep + swap
+/// local search). Deterministic given the seed.
+KCutResult unbalanced_kcut(const ht::hypergraph::Hypergraph& h,
+                           std::int32_t k, ht::Rng& rng);
+
+/// Proposition 1's path: run the *graph* portfolio on the clique expansion
+/// of h and evaluate the winning sets back in the hypergraph. Exposed
+/// separately so bench_clique_expansion can compare both paths.
+KCutResult unbalanced_kcut_via_clique_expansion(
+    const ht::hypergraph::Hypergraph& h, std::int32_t k, ht::Rng& rng);
+
+/// Full profile for phase 2 of Theorem 1: per-k best cost over nested
+/// greedy growths and sweep prefixes (one pass each, so the whole profile
+/// costs little more than a single query).
+KCutProfile unbalanced_kcut_profile(const ht::hypergraph::Hypergraph& h,
+                                    std::int32_t kmax, ht::Rng& rng);
+
+/// Graph variant (edge cuts): candidates from greedy growth, spectral
+/// sweep and Gomory–Hu subtrees.
+KCutResult unbalanced_kcut_graph(const ht::graph::Graph& g, std::int32_t k,
+                                 ht::Rng& rng);
+
+}  // namespace ht::partition

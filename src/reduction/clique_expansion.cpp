@@ -1,0 +1,30 @@
+#include "reduction/clique_expansion.hpp"
+
+#include <algorithm>
+
+namespace ht::reduction {
+
+ht::graph::Graph clique_expansion(const ht::hypergraph::Hypergraph& h) {
+  HT_CHECK(h.finalized());
+  ht::graph::Graph g(h.num_vertices());
+  for (ht::hypergraph::VertexId v = 0; v < h.num_vertices(); ++v)
+    g.set_vertex_weight(v, h.vertex_weight(v));
+  for (ht::hypergraph::EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto pins = h.pins(e);
+    const double w =
+        h.edge_weight(e) / static_cast<double>(pins.size() - 1);
+    for (std::size_t i = 0; i < pins.size(); ++i)
+      for (std::size_t j = i + 1; j < pins.size(); ++j)
+        g.add_edge(pins[i], pins[j], w);
+  }
+  g.finalize();
+  return g;
+}
+
+double lemma1_bound(std::int64_t k, std::int32_t hmax) {
+  const double bound =
+      std::min(static_cast<double>(k), static_cast<double>(hmax) / 2.0);
+  return std::max(bound, 1.0);
+}
+
+}  // namespace ht::reduction

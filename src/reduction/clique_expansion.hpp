@@ -1,0 +1,23 @@
+// Lemma 1: clique expansion.
+//
+// Replace every hyperedge h by a clique on its pins with per-edge weight
+// w(h)/(|h|-1). The paper proves the sandwich
+//     delta_H(S) <= delta_G'(S) <= min{|S|, hmax/2} * delta_H(S)
+// for any vertex set S of size k — the engine of Proposition 1 and of the
+// small-hyperedge branch of Theorem 2.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace ht::reduction {
+
+/// Builds the clique-expansion graph G'. Vertex ids and vertex weights are
+/// preserved. Cliques of parallel hyperedges stack additively.
+ht::graph::Graph clique_expansion(const ht::hypergraph::Hypergraph& h);
+
+/// The distortion bound of Lemma 1 for a cut side of size k:
+/// min(k, hmax/2), never less than 1.
+double lemma1_bound(std::int64_t k, std::int32_t hmax);
+
+}  // namespace ht::reduction

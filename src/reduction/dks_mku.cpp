@@ -1,0 +1,93 @@
+#include "reduction/dks_mku.hpp"
+
+#include <algorithm>
+
+namespace ht::reduction {
+
+using ht::graph::Graph;
+using ht::graph::VertexId;
+
+MkuInstance dks_to_mku(const Graph& g, std::int32_t L) {
+  HT_CHECK(g.finalized());
+  HT_CHECK(1 <= L && L <= g.num_edges());
+  MkuInstance out;
+  out.hypergraph.resize(g.num_vertices());
+  for (const auto& e : g.edges()) out.hypergraph.add_edge({e.u, e.v});
+  out.hypergraph.finalize();
+  out.k = L;
+  return out;
+}
+
+std::int64_t induced_edges(const Graph& g, const std::vector<VertexId>& s) {
+  std::vector<bool> in(static_cast<std::size_t>(g.num_vertices()), false);
+  for (VertexId v : s) in[static_cast<std::size_t>(v)] = true;
+  std::int64_t count = 0;
+  for (const auto& e : g.edges()) {
+    if (in[static_cast<std::size_t>(e.u)] && in[static_cast<std::size_t>(e.v)])
+      ++count;
+  }
+  return count;
+}
+
+std::vector<VertexId> prune_to_k(const Graph& g, std::vector<VertexId> s,
+                                 std::int32_t k) {
+  HT_CHECK(static_cast<std::int32_t>(s.size()) >= k);
+  std::vector<bool> in(static_cast<std::size_t>(g.num_vertices()), false);
+  for (VertexId v : s) in[static_cast<std::size_t>(v)] = true;
+  // Degree of each member *inside* the current set.
+  std::vector<std::int32_t> internal_degree(
+      static_cast<std::size_t>(g.num_vertices()), 0);
+  for (const auto& e : g.edges()) {
+    if (in[static_cast<std::size_t>(e.u)] &&
+        in[static_cast<std::size_t>(e.v)]) {
+      ++internal_degree[static_cast<std::size_t>(e.u)];
+      ++internal_degree[static_cast<std::size_t>(e.v)];
+    }
+  }
+  while (static_cast<std::int32_t>(s.size()) > k) {
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (internal_degree[static_cast<std::size_t>(s[i])] <
+          internal_degree[static_cast<std::size_t>(s[worst])])
+        worst = i;
+    }
+    const VertexId victim = s[worst];
+    in[static_cast<std::size_t>(victim)] = false;
+    for (const auto& a : g.neighbors(victim)) {
+      if (in[static_cast<std::size_t>(a.to)])
+        --internal_degree[static_cast<std::size_t>(a.to)];
+    }
+    s[worst] = s.back();
+    s.pop_back();
+  }
+  return s;
+}
+
+std::vector<VertexId> mku_solution_to_dks(
+    const Graph& g, const std::vector<ht::hypergraph::EdgeId>& chosen_edges,
+    std::int32_t k) {
+  std::vector<bool> in(static_cast<std::size_t>(g.num_vertices()), false);
+  std::vector<VertexId> s;
+  for (auto e : chosen_edges) {
+    const auto& edge = g.edge(static_cast<ht::graph::EdgeId>(e));
+    for (VertexId v : {edge.u, edge.v}) {
+      if (!in[static_cast<std::size_t>(v)]) {
+        in[static_cast<std::size_t>(v)] = true;
+        s.push_back(v);
+      }
+    }
+  }
+  // The union may be smaller than k (dense solutions); pad with arbitrary
+  // extra vertices — extra vertices never reduce induced edges.
+  for (VertexId v = 0;
+       v < g.num_vertices() && static_cast<std::int32_t>(s.size()) < k; ++v) {
+    if (!in[static_cast<std::size_t>(v)]) {
+      in[static_cast<std::size_t>(v)] = true;
+      s.push_back(v);
+    }
+  }
+  HT_CHECK(static_cast<std::int32_t>(s.size()) >= k);
+  return prune_to_k(g, std::move(s), k);
+}
+
+}  // namespace ht::reduction

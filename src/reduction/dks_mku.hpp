@@ -1,0 +1,44 @@
+// Theorem 4: Densest k-Subgraph  →  Minimizing k-Union, and the f → f²
+// solution mapping.
+//
+// For a DkS instance (graph G, size k) and a guessed optimal edge count L,
+// the derived MkU instance has one hyperedge per graph edge (its two
+// endpoints) and asks for L hyperedges with minimum union. A k-vertex
+// subgraph with L edges gives L sets with union <= k; conversely an MkU
+// solution covering f·k vertices induces >= L edges, and pruning down to k
+// vertices retains >= L/f² of them (derandomized by conditional
+// expectations — here: iteratively dropping the vertex that loses the
+// fewest induced edges).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "reduction/mku_bisection.hpp"
+
+namespace ht::reduction {
+
+/// Builds the MkU instance for DkS guess L: items = vertices of g,
+/// sets = edges of g, k_mku = L.
+MkuInstance dks_to_mku(const ht::graph::Graph& g, std::int32_t L);
+
+/// Number of edges of g inside the vertex set S.
+std::int64_t induced_edges(const ht::graph::Graph& g,
+                           const std::vector<ht::graph::VertexId>& s);
+
+/// Theorem 4's pruning step: given a vertex set S (|S| >= k), repeatedly
+/// remove the vertex whose removal destroys the fewest induced edges until
+/// |S| == k. This is the conditional-expectation derandomization of the
+/// random k-subset argument.
+std::vector<ht::graph::VertexId> prune_to_k(
+    const ht::graph::Graph& g, std::vector<ht::graph::VertexId> s,
+    std::int32_t k);
+
+/// Maps an MkU solution (chosen hyperedges == graph edges) back to a DkS
+/// candidate: the union of endpoints, pruned to k vertices.
+std::vector<ht::graph::VertexId> mku_solution_to_dks(
+    const ht::graph::Graph& g,
+    const std::vector<ht::hypergraph::EdgeId>& chosen_edges, std::int32_t k);
+
+}  // namespace ht::reduction

@@ -1,0 +1,47 @@
+// Theorem 3: Minimizing k-Union  →  Minimum Hypergraph Bisection.
+//
+// MkU instance: hypergraph G' = (V', H'), select k hyperedges minimizing
+// |union of their pins|. Reduction: swap the roles of vertices and
+// hyperedges, add a supervertex w incident to every new hyperedge, and pad
+// with p = |m + 1 - 2k| vertices so the bisection is exactly balanced. When
+// k > (m+1)/2 the padding is glued to w with infinite-cost edges; otherwise
+// the padding floats free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace ht::reduction {
+
+/// A Minimizing-k-Union instance.
+struct MkuInstance {
+  ht::hypergraph::Hypergraph hypergraph;  // sets = hyperedges over items
+  std::int32_t k = 0;                     // number of sets to pick
+};
+
+/// Exact/heuristic MkU objective: size of the union of the chosen sets.
+double mku_union_weight(const ht::hypergraph::Hypergraph& h,
+                        const std::vector<ht::hypergraph::EdgeId>& chosen);
+
+struct MkuBisectionReduction {
+  ht::hypergraph::Hypergraph bisection_instance;
+  ht::hypergraph::VertexId supervertex = 0;
+  // set_of_vertex[v] == index of hyperedge h'_v in the MkU instance, or -1
+  // for the supervertex / padding vertices.
+  std::vector<std::int32_t> set_of_vertex;
+  std::int32_t num_padding = 0;
+  bool padding_glued = false;  // true iff k > (m+1)/2
+  double infinite_cost = 0.0;  // the weight standing in for "infinity"
+
+  /// Maps a bisection (side indicator, true = side containing the
+  /// supervertex) back to a k-set MkU solution (Theorem 3's argument).
+  std::vector<ht::hypergraph::EdgeId> extract_mku_solution(
+      const std::vector<bool>& with_supervertex, std::int32_t k) const;
+};
+
+/// Builds the reduction. Requires every item to belong to >= 1 set.
+MkuBisectionReduction mku_to_bisection(const MkuInstance& instance);
+
+}  // namespace ht::reduction

@@ -1,0 +1,29 @@
+#include "reduction/star_expansion.hpp"
+
+namespace ht::reduction {
+
+StarExpansion star_expansion(const ht::hypergraph::Hypergraph& h) {
+  HT_CHECK(h.finalized());
+  StarExpansion out;
+  const auto n = h.num_vertices();
+  const auto m = h.num_edges();
+  out.edge_node_base = n;
+  out.graph.resize(n + m);
+  for (ht::hypergraph::VertexId v = 0; v < n; ++v) {
+    // Weight deg(v) + 1 makes it always cheaper to cut all hyperedges at v
+    // than v itself, which is what forces minimum vertex cuts in G' to use
+    // only hyperedge nodes (proof of Lemma 7). With weighted hyperedges the
+    // same argument needs the *weighted* degree.
+    double weighted_degree = 0.0;
+    for (auto e : h.incident_edges(v)) weighted_degree += h.edge_weight(e);
+    out.graph.set_vertex_weight(v, weighted_degree + 1.0);
+  }
+  for (ht::hypergraph::EdgeId e = 0; e < m; ++e) {
+    out.graph.set_vertex_weight(out.node_of_edge(e), h.edge_weight(e));
+    for (auto v : h.pins(e)) out.graph.add_edge(v, out.node_of_edge(e));
+  }
+  out.graph.finalize();
+  return out;
+}
+
+}  // namespace ht::reduction

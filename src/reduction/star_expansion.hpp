@@ -1,0 +1,32 @@
+// Lemma 7: star expansion.
+//
+// From a hypergraph G = (V, H) build the bipartite vertex-weighted graph
+// G' = (V ∪ H, E): vertex v keeps its identity with weight deg_G(v) + 1,
+// hyperedge e becomes a vertex of weight w(e), and v—e edges connect
+// incidences. Lemma 7: gamma_{G'}(A, B) = delta_G(A, B) for all disjoint
+// A, B ⊆ V — hypergraph *edge* cuts become *vertex* cuts, which is how
+// Theorem 5's vertex cut trees are applied to hypergraphs (Corollary 3).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace ht::reduction {
+
+struct StarExpansion {
+  ht::graph::Graph graph;
+  // Vertices of the hypergraph are ids [0, n); hyperedge e is node
+  // edge_node_base + e.
+  ht::graph::VertexId edge_node_base = 0;
+
+  ht::graph::VertexId node_of_vertex(ht::hypergraph::VertexId v) const {
+    return v;
+  }
+  ht::graph::VertexId node_of_edge(ht::hypergraph::EdgeId e) const {
+    return edge_node_base + e;
+  }
+};
+
+StarExpansion star_expansion(const ht::hypergraph::Hypergraph& h);
+
+}  // namespace ht::reduction

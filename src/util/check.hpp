@@ -1,0 +1,44 @@
+// Lightweight runtime-check macros used across the library.
+//
+// HT_CHECK is always on (it guards API contracts and algorithm invariants
+// whose violation would produce silently wrong cut values); HT_DCHECK
+// compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ht {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HT_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ht
+
+#define HT_CHECK(expr)                                        \
+  do {                                                        \
+    if (!(expr)) ::ht::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define HT_CHECK_MSG(expr, msg)                                \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      std::ostringstream ht_check_os_;                         \
+      ht_check_os_ << msg;                                     \
+      ::ht::check_failed(#expr, __FILE__, __LINE__, ht_check_os_.str()); \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define HT_DCHECK(expr) ((void)0)
+#else
+#define HT_DCHECK(expr) HT_CHECK(expr)
+#endif

@@ -1,0 +1,133 @@
+// Deterministic random number generation.
+//
+// All randomized components of the library take an explicit `Rng&` (or a
+// seed) so that every experiment is reproducible bit-for-bit across runs and
+// thread counts. `Rng` is xoshiro256**, seeded via SplitMix64; independent
+// streams for parallel work are derived with `split()`.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ht {
+
+/// SplitMix64 — used to expand a single seed into xoshiro state and to
+/// derive independent stream seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method
+  /// simplified with rejection).
+  std::uint64_t next_below(std::uint64_t bound) {
+    HT_CHECK(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    HT_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  /// Derive an independent stream (for per-task RNGs in parallel sweeps).
+  Rng split() {
+    std::uint64_t s = (*this)();
+    return Rng(s);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample `k` distinct values from [0, n) in increasing order
+  /// (Floyd's algorithm followed by a sort-free insertion since k is small
+  /// relative to n in our workloads; falls back to shuffle for dense k).
+  std::vector<std::int32_t> sample_without_replacement(std::int32_t n,
+                                                       std::int32_t k);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+inline std::vector<std::int32_t> Rng::sample_without_replacement(
+    std::int32_t n, std::int32_t k) {
+  HT_CHECK(0 <= k && k <= n);
+  std::vector<std::int32_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (k > n / 2) {
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n));
+    for (std::int32_t i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    shuffle(all);
+    out.assign(all.begin(), all.begin() + k);
+  } else {
+    // Floyd's algorithm.
+    std::vector<bool> in(static_cast<std::size_t>(n), false);
+    for (std::int32_t j = n - k; j < n; ++j) {
+      auto t = static_cast<std::int32_t>(next_below(
+          static_cast<std::uint64_t>(j) + 1));
+      if (in[static_cast<std::size_t>(t)]) t = j;
+      in[static_cast<std::size_t>(t)] = true;
+      out.push_back(t);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ht

@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ht {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  HT_CHECK(!sorted.empty());
+  HT_CHECK(0.0 <= q && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> values) {
+  HT_CHECK(!values.empty());
+  Summary s;
+  s.count = values.size();
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  s.median = quantile_sorted(values, 0.5);
+  s.p90 = quantile_sorted(values, 0.9);
+  s.p99 = quantile_sorted(values, 0.99);
+  return s;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  HT_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    HT_CHECK(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double log_log_slope(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  HT_CHECK(x.size() == y.size());
+  HT_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    HT_CHECK(x[i] > 0.0 && y[i] > 0.0);
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  HT_CHECK(denom != 0.0);
+  return (n * sxy - sx * sy) / denom;
+}
+
+std::string to_string(const Summary& s) {
+  std::ostringstream os;
+  os << "n=" << s.count << " mean=" << s.mean << " sd=" << s.stddev
+     << " min=" << s.min << " med=" << s.median << " p90=" << s.p90
+     << " max=" << s.max;
+  return os.str();
+}
+
+}  // namespace ht

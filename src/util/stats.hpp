@@ -1,0 +1,40 @@
+// Summary statistics for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ht {
+
+/// Simple aggregate of a sample; all fields are defined for non-empty input.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary; input is copied because quantiles need a sort.
+Summary summarize(std::vector<double> values);
+
+/// Quantile with linear interpolation; q in [0,1]; input must be sorted.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Geometric mean (values must be positive).
+double geometric_mean(const std::vector<double>& values);
+
+/// Least-squares slope of log(y) against log(x) — the empirical growth
+/// exponent "b" in y ~ x^b. Used to compare measured scaling against the
+/// paper's asymptotic claims. x and y must be positive and equally sized.
+double log_log_slope(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Human-readable one-line rendering, e.g. for bench output.
+std::string to_string(const Summary& s);
+
+}  // namespace ht

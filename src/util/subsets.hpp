@@ -1,0 +1,54 @@
+// Subset and combination enumeration used by exact (brute-force) solvers
+// and exhaustive property tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ht {
+
+/// Calls body(mask) for every mask in [0, 2^n). n must be <= 30.
+inline void for_each_subset(int n,
+                            const std::function<void(std::uint32_t)>& body) {
+  HT_CHECK(0 <= n && n <= 30);
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) body(mask);
+}
+
+/// Calls body(indices) for every k-combination of [0, n), in lexicographic
+/// order. `indices` is reused between calls.
+inline void for_each_combination(
+    int n, int k, const std::function<void(const std::vector<int>&)>& body) {
+  HT_CHECK(0 <= k && k <= n);
+  std::vector<int> idx(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
+  if (k == 0) {
+    body(idx);
+    return;
+  }
+  for (;;) {
+    body(idx);
+    int i = k - 1;
+    while (i >= 0 && idx[static_cast<std::size_t>(i)] == n - k + i) --i;
+    if (i < 0) break;
+    ++idx[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j)
+      idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+  }
+}
+
+/// Converts a bitmask over [0, n) into the vector of set positions.
+inline std::vector<std::int32_t> mask_to_vertices(std::uint32_t mask, int n) {
+  std::vector<std::int32_t> out;
+  for (int i = 0; i < n; ++i)
+    if (mask & (1u << i)) out.push_back(i);
+  return out;
+}
+
+/// Popcount of a 32-bit mask.
+inline int popcount32(std::uint32_t mask) { return __builtin_popcount(mask); }
+
+}  // namespace ht

@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace ht {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  HT_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  HT_CHECK_MSG(row.size() == header_.size(),
+               "row width " << row.size() << " != header width "
+                            << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format_cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+std::string Table::format_cell(int v) { return std::to_string(v); }
+std::string Table::format_cell(long v) { return std::to_string(v); }
+std::string Table::format_cell(long long v) { return std::to_string(v); }
+std::string Table::format_cell(unsigned long v) { return std::to_string(v); }
+std::string Table::format_cell(unsigned long long v) {
+  return std::to_string(v);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size())
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  auto row_md = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 < row.size() ? " | " : " |\n");
+    }
+  };
+  row_md(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) row_md(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto row_csv = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  row_csv(header_);
+  for (const auto& row : rows_) row_csv(row);
+}
+
+}  // namespace ht

@@ -1,0 +1,50 @@
+// Aligned text/markdown/CSV table rendering for experiment output.
+//
+// Every bench binary prints its results through Table so that rows are
+// greppable and EXPERIMENTS.md can quote them verbatim.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ht {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic values with %.4g, passes strings
+  /// through.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(format_cell(cells)), ...);
+    add_row(std::move(row));
+  }
+
+  void print(std::ostream& os) const;            // aligned plain text
+  void print_markdown(std::ostream& os) const;   // GitHub table
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(int v);
+  static std::string format_cell(long v);
+  static std::string format_cell(long long v);
+  static std::string format_cell(unsigned long v);
+  static std::string format_cell(unsigned long long v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ht

@@ -1,0 +1,113 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "util/check.hpp"
+
+namespace ht {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    HT_CHECK(!stopping_);
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  if (n == 1 || pool.size() == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Static chunking: cell -> chunk mapping is independent of thread count,
+  // and each cell seeds its own RNG from its index, so output is
+  // deterministic.
+  const std::size_t chunks = std::min(n, pool.size() * 4);
+  std::atomic<std::size_t> next_chunk{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    pool.enqueue([&, chunks, n] {
+      for (;;) {
+        const std::size_t chunk = next_chunk.fetch_add(1);
+        if (chunk >= chunks) break;
+        const std::size_t lo = chunk * n / chunks;
+        const std::size_t hi = (chunk + 1) * n / chunks;
+        try {
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        } catch (...) {
+          std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      std::scoped_lock lock(done_mutex);
+      ++done;
+      done_cv.notify_all();
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return done == chunks; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ht

@@ -1,0 +1,57 @@
+// A fixed-size thread pool and a deterministic parallel_for.
+//
+// Benchmarks in this repository sweep many (instance, seed, pair) cells that
+// are independent of each other; parallel_for distributes those cells over a
+// pool. Determinism contract: results depend only on the cell index (each
+// cell derives its own RNG stream from its index), never on the thread that
+// executed it, so any thread count produces identical output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ht {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; tasks may not themselves block on the pool.
+  void enqueue(std::function<void()> task);
+
+  /// Block until every task enqueued so far has finished.
+  void wait_idle();
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n), distributing chunks over the global pool.
+/// `body` must be safe to call concurrently for distinct i. Exceptions from
+/// body are rethrown (first one wins) after all iterations finish.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace ht

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bisection.hpp"
+#include "hypergraph/generators.hpp"
+#include "partition/exact.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+
+void expect_valid_bisection(const Hypergraph& h,
+                            const ht::core::BisectionReport& report) {
+  ht::partition::validate_bisection(h, report.solution);
+}
+
+TEST(Theorem1, EdgelessHypergraph) {
+  Hypergraph h(6);
+  h.finalize();
+  const auto report = ht::core::bisect_theorem1(h);
+  expect_valid_bisection(h, report);
+  EXPECT_DOUBLE_EQ(report.solution.cut, 0.0);
+}
+
+TEST(Theorem1, DisconnectedHalvesAreFree) {
+  // Two disjoint triangles: the bisection along components costs 0.
+  Hypergraph h(6);
+  h.add_edge({0, 1, 2});
+  h.add_edge({3, 4, 5});
+  h.finalize();
+  const auto report = ht::core::bisect_theorem1(h);
+  expect_valid_bisection(h, report);
+  EXPECT_DOUBLE_EQ(report.solution.cut, 0.0);
+}
+
+TEST(Theorem1, RecoversPlantedBisection) {
+  ht::Rng rng(1);
+  const Hypergraph h = ht::hypergraph::planted_bisection(12, 3, 50, 2, rng);
+  const auto report = ht::core::bisect_theorem1(h);
+  expect_valid_bisection(h, report);
+  EXPECT_LE(report.solution.cut, 2.0 + 1e-9);
+}
+
+TEST(Theorem1, NearExactOnSmallInstances) {
+  ht::Rng rng(2);
+  double worst_ratio = 1.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Hypergraph h = ht::hypergraph::random_uniform(12, 20, 3, rng);
+    const auto exact = ht::partition::exact_hypergraph_bisection(h);
+    ht::core::Theorem1Options options;
+    options.seed = static_cast<std::uint64_t>(trial) + 10;
+    const auto report = ht::core::bisect_theorem1(h, options);
+    expect_valid_bisection(h, report);
+    EXPECT_GE(report.solution.cut, exact.cut - 1e-9);
+    if (exact.cut > 0)
+      worst_ratio = std::max(worst_ratio, report.solution.cut / exact.cut);
+  }
+  // sqrt(12) * polylog is ~10; the measured ratio should be far below it.
+  EXPECT_LE(worst_ratio, 3.0);
+}
+
+TEST(Theorem1, NoPolishStillValid) {
+  ht::Rng rng(3);
+  const Hypergraph h = ht::hypergraph::random_uniform(16, 30, 4, rng);
+  ht::core::Theorem1Options options;
+  options.fm_polish = false;
+  const auto report = ht::core::bisect_theorem1(h, options);
+  expect_valid_bisection(h, report);
+  EXPECT_GT(report.phase1_pieces, 0);
+}
+
+TEST(Theorem1, DiagnosticsPopulated) {
+  ht::Rng rng(4);
+  const Hypergraph h = ht::hypergraph::planted_bisection(10, 3, 30, 3, rng);
+  const auto report = ht::core::bisect_theorem1(h);
+  EXPECT_GT(report.opt_guess, 0.0);
+  EXPECT_GE(report.phase1_pieces, 1);
+  EXPECT_EQ(report.algorithm, "theorem1");
+}
+
+TEST(Theorem1, RejectsOddInstances) {
+  Hypergraph h(3);
+  h.add_edge({0, 1, 2});
+  h.finalize();
+  EXPECT_THROW(ht::core::bisect_theorem1(h), std::logic_error);
+}
+
+TEST(Theorem2Small, ValidAndCompetitive) {
+  ht::Rng rng(5);
+  // Small hyperedges: r = 3 << n.
+  const Hypergraph h = ht::hypergraph::random_uniform(20, 40, 3, rng);
+  const auto report = ht::core::bisect_small_edges(h);
+  expect_valid_bisection(h, report);
+  EXPECT_EQ(report.algorithm, "theorem2-small-edges");
+  const auto fm = ht::core::bisect_fm_baseline(h, rng);
+  // The clique-expansion path should be in the same ballpark as FM.
+  EXPECT_LE(report.solution.cut, 2.0 * fm.solution.cut + 4.0);
+}
+
+TEST(Theorem2Large, ValidOnLargeEdgeInstances) {
+  ht::Rng rng(6);
+  // All hyperedges of size n/4: the large-edge regime.
+  const Hypergraph h = ht::hypergraph::random_uniform(16, 12, 4, rng);
+  const auto report = ht::core::bisect_large_edges(h);
+  expect_valid_bisection(h, report);
+  EXPECT_EQ(report.algorithm, "theorem2-large-edges");
+}
+
+TEST(Corollary3, ValidBisection) {
+  ht::Rng rng(7);
+  const Hypergraph h = ht::hypergraph::random_uniform(12, 18, 3, rng);
+  const auto report = ht::core::bisect_via_cut_tree(h);
+  expect_valid_bisection(h, report);
+  EXPECT_EQ(report.algorithm, "corollary3-cut-tree");
+  EXPECT_GT(report.dp_estimate, 0.0);
+}
+
+TEST(Corollary3, RecoversPlantedBisection) {
+  ht::Rng rng(8);
+  const Hypergraph h = ht::hypergraph::planted_bisection(8, 3, 30, 1, rng);
+  ht::core::CutTreeBisectionOptions options;
+  const auto report = ht::core::bisect_via_cut_tree(h, options);
+  expect_valid_bisection(h, report);
+  EXPECT_LE(report.solution.cut, 4.0);
+}
+
+TEST(Corollary3, TreeCutUpperBoundsFinalCutBeforePolish) {
+  // The DP objective w(X) dominates gamma_T >= gamma_{G'} = delta_H of the
+  // produced partition (Lemma 5 + Lemma 7), so before FM polish
+  // cut <= dp_estimate.
+  ht::Rng rng(9);
+  const Hypergraph h = ht::hypergraph::random_uniform(10, 15, 3, rng);
+  ht::core::CutTreeBisectionOptions options;
+  options.fm_polish = false;
+  const auto report = ht::core::bisect_via_cut_tree(h, options);
+  expect_valid_bisection(h, report);
+  EXPECT_LE(report.solution.cut, report.dp_estimate + 1e-6);
+}
+
+TEST(Baselines, FmAndRandomValid) {
+  ht::Rng rng(10);
+  const Hypergraph h = ht::hypergraph::random_uniform(14, 25, 3, rng);
+  const auto fm = ht::core::bisect_fm_baseline(h, rng);
+  const auto random = ht::core::bisect_random_baseline(h, rng);
+  expect_valid_bisection(h, fm);
+  expect_valid_bisection(h, random);
+  EXPECT_LE(fm.solution.cut, random.solution.cut + 1e-9);
+}
+
+TEST(AllAlgorithms, AgreeOnObviousInstance) {
+  // Two dense clusters, single cross edge: everything should find cut <= 1.
+  ht::Rng rng(11);
+  const Hypergraph h = ht::hypergraph::planted_bisection(10, 3, 60, 1, rng);
+  const auto t1 = ht::core::bisect_theorem1(h);
+  const auto small = ht::core::bisect_small_edges(h);
+  const auto tree = ht::core::bisect_via_cut_tree(h);
+  EXPECT_LE(t1.solution.cut, 1.0 + 1e-9);
+  EXPECT_LE(small.solution.cut, 1.0 + 1e-9);
+  EXPECT_LE(tree.solution.cut, 1.0 + 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cuttree/edge_cut_trees.hpp"
+#include "cuttree/quality.hpp"
+#include "cuttree/tree.hpp"
+#include "cuttree/tree_bisection.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "flow/min_cut.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/subsets.hpp"
+
+namespace {
+
+using ht::cuttree::NodeId;
+using ht::cuttree::Tree;
+using ht::cuttree::VertexId;
+
+Tree simple_path_tree() {
+  // root(w=2) - a(w=1) - b(w=3); vertices 0->a, 1->root, 2->b.
+  Tree t;
+  t.reserve_vertices(3);
+  const NodeId root = t.add_node(-1, 2.0);
+  const NodeId a = t.add_node(root, 1.0, 1.0);
+  const NodeId b = t.add_node(a, 3.0, 1.0);
+  t.set_vertex_node(0, a);
+  t.set_vertex_node(1, root);
+  t.set_vertex_node(2, b);
+  t.validate();
+  return t;
+}
+
+TEST(Tree, StructureAndValidate) {
+  const Tree t = simple_path_tree();
+  EXPECT_EQ(t.num_nodes(), 3);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.parent(1), 0);
+  EXPECT_EQ(t.children(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(t.node_weight(2), 3.0);
+}
+
+TEST(Tree, RejectsSecondRoot) {
+  Tree t;
+  t.add_node(-1, 1.0);
+  EXPECT_THROW(t.add_node(-1, 1.0), std::logic_error);
+}
+
+TEST(Tree, ValidateCatchesUnmappedVertex) {
+  Tree t;
+  t.reserve_vertices(1);
+  t.add_node(-1, 1.0);
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(Tree, VertexCutFlowSimple) {
+  const Tree t = simple_path_tree();
+  // Separate vertex 0 (node a) from vertex 2 (node b): cheapest cut is a
+  // itself (w=1) — the cut may contain A.
+  EXPECT_DOUBLE_EQ(ht::cuttree::tree_vertex_cut_flow(t, {0}, {2}), 1.0);
+  // Separate root-vertex 1 from 2: b costs 3, a costs 1, root costs 2 -> 1.
+  EXPECT_DOUBLE_EQ(ht::cuttree::tree_vertex_cut_flow(t, {1}, {2}), 1.0);
+}
+
+TEST(Tree, VertexCutDpMatchesFlowOnHandTree) {
+  const Tree t = simple_path_tree();
+  for (auto& [a, b] : std::vector<std::pair<VertexId, VertexId>>{
+           {0, 1}, {0, 2}, {1, 2}}) {
+    EXPECT_DOUBLE_EQ(ht::cuttree::tree_vertex_cut_flow(t, {a}, {b}),
+                     ht::cuttree::tree_vertex_cut_dp(t, {a}, {b}));
+  }
+}
+
+TEST(Tree, EdgeCutDpSimple) {
+  Tree t;
+  t.reserve_vertices(3);
+  const NodeId root = t.add_node(-1, 1.0);
+  const NodeId a = t.add_node(root, 1.0, 5.0);
+  const NodeId b = t.add_node(root, 1.0, 2.0);
+  t.set_vertex_node(0, root);
+  t.set_vertex_node(1, a);
+  t.set_vertex_node(2, b);
+  EXPECT_DOUBLE_EQ(ht::cuttree::tree_edge_cut_dp(t, {1}, {2}), 2.0);
+  EXPECT_DOUBLE_EQ(ht::cuttree::tree_edge_cut_dp(t, {0}, {1}), 5.0);
+  EXPECT_DOUBLE_EQ(ht::cuttree::tree_edge_cut_dp(t, {0, 1}, {2}), 2.0);
+}
+
+/// Random tree generator for cross-check properties.
+Tree random_tree(VertexId n, ht::Rng& rng) {
+  Tree t;
+  t.reserve_vertices(n);
+  std::vector<NodeId> nodes;
+  nodes.push_back(t.add_node(-1, 1.0 + rng.next_double() * 4.0));
+  const NodeId total = 2 * n;  // some internal nodes without vertices
+  for (NodeId i = 1; i < total; ++i) {
+    const NodeId parent =
+        nodes[static_cast<std::size_t>(rng.next_below(nodes.size()))];
+    nodes.push_back(t.add_node(parent, 1.0 + rng.next_double() * 4.0,
+                               0.5 + rng.next_double() * 3.0));
+  }
+  // Embed the n vertices into distinct random nodes.
+  std::vector<NodeId> shuffled = nodes;
+  rng.shuffle(shuffled);
+  for (VertexId v = 0; v < n; ++v)
+    t.set_vertex_node(v, shuffled[static_cast<std::size_t>(v)]);
+  t.validate();
+  return t;
+}
+
+class TreeCutCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeCutCrossCheck, FlowEqualsDpOnRandomTrees) {
+  ht::Rng rng(GetParam());
+  const VertexId n = 8;
+  const Tree t = random_tree(n, rng);
+  for (int trial = 0; trial < 12; ++trial) {
+    auto pick = rng.sample_without_replacement(n, 4);
+    const std::vector<VertexId> a{pick[0], pick[1]}, b{pick[2], pick[3]};
+    const double flow = ht::cuttree::tree_vertex_cut_flow(t, a, b);
+    const double dp = ht::cuttree::tree_vertex_cut_dp(t, a, b);
+    EXPECT_NEAR(flow, dp, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeCutCrossCheck,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------- Section 3.1 construction ----------
+
+TEST(VertexCutTree, PathGraphShape) {
+  const auto g = ht::graph::path(12);
+  const auto result = ht::cuttree::build_vertex_cut_tree(g);
+  result.tree.validate();
+  // Every vertex embedded.
+  for (VertexId v = 0; v < 12; ++v)
+    EXPECT_NE(result.tree.node_of_vertex(v), -1);
+  EXPECT_GE(result.num_pieces, 1);
+}
+
+TEST(VertexCutTree, DominationExhaustiveOnSmallGraphs) {
+  ht::Rng rng(11);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto g = ht::graph::gnp_connected(9, 0.3, rng);
+    const auto result = ht::cuttree::build_vertex_cut_tree(g);
+    // All singleton pairs: gamma_G <= gamma_T.
+    for (VertexId s = 0; s < 9; ++s) {
+      for (VertexId t = s + 1; t < 9; ++t) {
+        const double gg = ht::flow::min_vertex_cut(g, {s}, {t}).value;
+        const double gt =
+            ht::cuttree::tree_vertex_cut_flow(result.tree, {s}, {t});
+        EXPECT_GE(gt, gg - 1e-9) << "pair " << s << "," << t;
+      }
+    }
+  }
+}
+
+TEST(VertexCutTree, DominationOnSetPairs) {
+  ht::Rng rng(13);
+  const auto g = ht::graph::grid(5, 5);
+  const auto result = ht::cuttree::build_vertex_cut_tree(g);
+  const auto pairs = ht::cuttree::random_set_pairs(25, 40, 5, rng);
+  const auto report =
+      ht::cuttree::vertex_cut_tree_quality(g, result.tree, pairs);
+  EXPECT_TRUE(report.dominating) << "min ratio " << report.min_ratio;
+  EXPECT_GE(report.max_ratio, 1.0);
+}
+
+TEST(VertexCutTree, WeightedGraphDomination) {
+  const auto fig = ht::graph::figure3_gh(16);
+  const auto result = ht::cuttree::build_vertex_cut_tree(fig.graph);
+  ht::Rng rng(17);
+  const auto pairs =
+      ht::cuttree::random_set_pairs(fig.graph.num_vertices(), 30, 4, rng);
+  const auto report =
+      ht::cuttree::vertex_cut_tree_quality(fig.graph, result.tree, pairs);
+  EXPECT_TRUE(report.dominating);
+}
+
+TEST(VertexCutTree, ThresholdOverrideControlsPeeling) {
+  const auto g = ht::graph::grid(4, 4);
+  ht::cuttree::VertexCutTreeOptions aggressive;
+  aggressive.threshold_override = 0.45;  // peel a lot
+  ht::cuttree::VertexCutTreeOptions timid;
+  timid.threshold_override = 1e-9;  // peel nothing
+  const auto many = ht::cuttree::build_vertex_cut_tree(g, aggressive);
+  const auto one = ht::cuttree::build_vertex_cut_tree(g, timid);
+  EXPECT_GT(many.num_pieces, one.num_pieces);
+  EXPECT_EQ(one.num_pieces, 1);
+  EXPECT_TRUE(one.separator_vertices.empty());
+}
+
+TEST(VertexCutTree, DisconnectedGraphSeparatesForFree) {
+  ht::graph::Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  g.finalize();
+  const auto result = ht::cuttree::build_vertex_cut_tree(g);
+  // Cross-component pairs have gamma_G = 0; tree must not overcharge
+  // much — and with an empty separator the root is free.
+  const double tree_cut =
+      ht::cuttree::tree_vertex_cut_flow(result.tree, {0}, {2});
+  EXPECT_DOUBLE_EQ(tree_cut, 0.0);
+}
+
+// ---------- Corollary 3 DP ----------
+
+TEST(TreeBisection, SimpleStarTree) {
+  // Root with 4 vertex leaves; cutting the root (w=1) allows any split.
+  Tree t;
+  t.reserve_vertices(4);
+  const NodeId root = t.add_node(-1, 1.0);
+  for (VertexId v = 0; v < 4; ++v)
+    t.set_vertex_node(v, t.add_node(root, 10.0));
+  const auto result =
+      ht::cuttree::balanced_tree_bisection(t, {0, 1, 2, 3});
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.tree_cut, 1.0);
+  int on_one = 0;
+  for (bool b : result.side) on_one += b ? 1 : 0;
+  EXPECT_EQ(on_one, 2);
+}
+
+TEST(TreeBisection, PrefersCheapLeaves) {
+  // Root(w=100) with leaves w={1,1,50,50}: cutting two cheap leaves (cost 2)
+  // beats the root.
+  Tree t;
+  t.reserve_vertices(4);
+  const NodeId root = t.add_node(-1, 100.0);
+  t.set_vertex_node(0, t.add_node(root, 1.0));
+  t.set_vertex_node(1, t.add_node(root, 1.0));
+  t.set_vertex_node(2, t.add_node(root, 50.0));
+  t.set_vertex_node(3, t.add_node(root, 50.0));
+  const auto result = ht::cuttree::balanced_tree_bisection(t, {0, 1, 2, 3});
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.tree_cut, 2.0);
+}
+
+TEST(TreeBisection, CutsLeavesWhenCheaperThanRoot) {
+  // Two anchors with two unit leaves each under a root of weight 5.
+  // Cutting the root (5) separates the anchors, but cutting two unit
+  // leaves (2) and redistributing them as free vertices is cheaper.
+  Tree t;
+  t.reserve_vertices(4);
+  const NodeId root = t.add_node(-1, 5.0);
+  const NodeId a1 = t.add_node(root, ht::cuttree::kInfiniteNodeWeight);
+  const NodeId a2 = t.add_node(root, ht::cuttree::kInfiniteNodeWeight);
+  t.set_vertex_node(0, t.add_node(a1, 1.0));
+  t.set_vertex_node(1, t.add_node(a1, 1.0));
+  t.set_vertex_node(2, t.add_node(a2, 1.0));
+  t.set_vertex_node(3, t.add_node(a2, 1.0));
+  const auto result = ht::cuttree::balanced_tree_bisection(t, {0, 1, 2, 3});
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.tree_cut, 2.0);
+  int on_one = 0;
+  for (bool b : result.side) on_one += b ? 1 : 0;
+  EXPECT_EQ(on_one, 2);
+}
+
+TEST(TreeBisection, RootCutWhenLeavesAreExpensive) {
+  // Same shape but leaves of weight 10: now the root (5) wins and the
+  // subtrees become the two sides.
+  Tree t;
+  t.reserve_vertices(4);
+  const NodeId root = t.add_node(-1, 5.0);
+  const NodeId a1 = t.add_node(root, ht::cuttree::kInfiniteNodeWeight);
+  const NodeId a2 = t.add_node(root, ht::cuttree::kInfiniteNodeWeight);
+  t.set_vertex_node(0, t.add_node(a1, 10.0));
+  t.set_vertex_node(1, t.add_node(a1, 10.0));
+  t.set_vertex_node(2, t.add_node(a2, 10.0));
+  t.set_vertex_node(3, t.add_node(a2, 10.0));
+  const auto result = ht::cuttree::balanced_tree_bisection(t, {0, 1, 2, 3});
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.tree_cut, 5.0);
+  EXPECT_NE(result.side[0], result.side[2]);
+  EXPECT_EQ(result.side[0], result.side[1]);
+  EXPECT_EQ(result.side[2], result.side[3]);
+}
+
+TEST(TreeBisection, BruteForceCrossCheck) {
+  // Exhaustive check on random small trees: DP tree_cut equals the best
+  // over all (cut set, coloring) combinations.
+  ht::Rng rng(23);
+  for (int trial = 0; trial < 6; ++trial) {
+    const VertexId n = 6;
+    const Tree t = random_tree(n, rng);
+    const auto dp = ht::cuttree::balanced_tree_bisection(t, {0, 1, 2, 3, 4, 5});
+    ASSERT_TRUE(dp.valid);
+    // Brute force: enumerate cut subsets of tree nodes; components of the
+    // remaining forest must 2-color so counted vertices balance; counted
+    // vertices at cut nodes are free.
+    const NodeId tn = t.num_nodes();
+    double best = 1e300;
+    ht::for_each_subset(tn, [&](std::uint32_t mask) {
+      double w = 0.0;
+      for (NodeId x = 0; x < tn; ++x)
+        if (mask & (1u << x)) w += t.node_weight(x);
+      if (w >= best) return;
+      // Components of the forest.
+      std::vector<std::int32_t> comp(static_cast<std::size_t>(tn), -1);
+      std::int32_t comps = 0;
+      for (NodeId x = 0; x < tn; ++x) {
+        if (mask & (1u << x)) continue;
+        const NodeId p = t.parent(x);
+        if (p != -1 && !(mask & (1u << p))) {
+          comp[static_cast<std::size_t>(x)] = comp[static_cast<std::size_t>(p)];
+        } else {
+          comp[static_cast<std::size_t>(x)] = comps++;
+        }
+      }
+      // Counted vertices per component; free = at cut nodes.
+      std::vector<std::int32_t> per_comp(static_cast<std::size_t>(comps), 0);
+      std::int32_t free_count = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        const NodeId node = t.node_of_vertex(v);
+        if (mask & (1u << node)) {
+          ++free_count;
+        } else {
+          ++per_comp[static_cast<std::size_t>(
+              comp[static_cast<std::size_t>(node)])];
+        }
+      }
+      // Subset-sum over components to hit n/2 (with free vertices flexible).
+      std::vector<bool> reachable(static_cast<std::size_t>(n) + 1, false);
+      reachable[0] = true;
+      for (std::int32_t c = 0; c < comps; ++c) {
+        std::vector<bool> next(reachable.size(), false);
+        for (std::size_t s = 0; s < reachable.size(); ++s) {
+          if (!reachable[s]) continue;
+          next[s] = true;
+          const std::size_t add =
+              s + static_cast<std::size_t>(
+                      per_comp[static_cast<std::size_t>(c)]);
+          if (add < next.size()) next[add] = true;
+        }
+        reachable = std::move(next);
+      }
+      const std::int32_t half = n / 2;
+      for (std::int32_t s = 0; s <= half; ++s) {
+        if (reachable[static_cast<std::size_t>(s)] && s + free_count >= half) {
+          best = std::min(best, w);
+          return;
+        }
+      }
+    });
+    EXPECT_NEAR(dp.tree_cut, best, 1e-9) << "trial " << trial;
+  }
+}
+
+// ---------- edge cut tree candidates ----------
+
+TEST(EdgeCutTrees, TopologiesValidate) {
+  ht::Rng rng(29);
+  ht::cuttree::star_topology(8).validate();
+  ht::cuttree::path_topology({0, 1, 2, 3}).validate();
+  ht::cuttree::balanced_binary_topology({0, 1, 2, 3, 4, 5}).validate();
+  ht::cuttree::random_topology(10, rng).validate();
+}
+
+TEST(EdgeCutTrees, GomoryHuTopologyEmbedsAll) {
+  ht::Rng rng(31);
+  const auto h = ht::hypergraph::random_uniform(10, 16, 3, rng);
+  if (!ht::hypergraph::is_connected(h)) GTEST_SKIP();
+  const Tree t = ht::cuttree::gomory_hu_topology(h);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_NE(t.node_of_vertex(v), -1);
+}
+
+TEST(EdgeCutTrees, InducedWeightsDominate) {
+  ht::Rng rng(37);
+  const auto h = ht::hypergraph::random_uniform(9, 14, 3, rng);
+  for (auto make : {+[](VertexId n, ht::Rng& r) {
+                      (void)r;
+                      return ht::cuttree::star_topology(n);
+                    },
+                    +[](VertexId n, ht::Rng& r) {
+                      return ht::cuttree::random_topology(n, r);
+                    }}) {
+    Tree t = make(9, rng);
+    ht::cuttree::assign_induced_weights(h, t);
+    for (int trial = 0; trial < 12; ++trial) {
+      auto pick = rng.sample_without_replacement(9, 2);
+      const std::vector<VertexId> a{pick[0]}, b{pick[1]};
+      const double dh = ht::flow::min_hyperedge_cut(h, a, b).value;
+      const double dt = ht::cuttree::tree_edge_cut_dp(t, a, b);
+      EXPECT_GE(dt, dh - 1e-9);
+    }
+  }
+}
+
+TEST(EdgeCutTrees, StarQualityOnSpanningEdgeIsLinear) {
+  // Theorem 6 intuition made concrete: on the single-spanning-hyperedge
+  // instance, the star tree with induced weights has quality Theta(n).
+  const VertexId n = 12;
+  const auto h = ht::hypergraph::single_spanning_edge(n);
+  Tree t = ht::cuttree::star_topology(n);
+  ht::cuttree::assign_induced_weights(h, t);
+  // Balanced split: tree pays n/2 edges of weight 1, hypergraph pays 1.
+  std::vector<VertexId> a, b;
+  for (VertexId v = 0; v < n; ++v) (v < n / 2 ? a : b).push_back(v);
+  const double dt = ht::cuttree::tree_edge_cut_dp(t, a, b);
+  const double dh = ht::flow::min_hyperedge_cut(h, a, b).value;
+  EXPECT_DOUBLE_EQ(dh, 1.0);
+  EXPECT_DOUBLE_EQ(dt, static_cast<double>(n / 2));
+}
+
+// ---------- quality helpers ----------
+
+TEST(Quality, SingletonPairsCount) {
+  EXPECT_EQ(ht::cuttree::all_singleton_pairs(5).size(), 10u);
+}
+
+TEST(Quality, RandomSetPairsDisjoint) {
+  ht::Rng rng(41);
+  const auto pairs = ht::cuttree::random_set_pairs(20, 50, 4, rng);
+  EXPECT_EQ(pairs.size(), 50u);
+  for (const auto& [a, b] : pairs) {
+    EXPECT_FALSE(a.empty());
+    EXPECT_FALSE(b.empty());
+    for (VertexId x : a)
+      for (VertexId y : b) EXPECT_NE(x, y);
+  }
+}
+
+}  // namespace

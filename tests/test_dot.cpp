@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cuttree/dot.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+
+namespace {
+
+TEST(Dot, GraphExportContainsEdgesAndWeights) {
+  ht::graph::Graph g(3);
+  g.add_edge(0, 1, 2.5);
+  g.add_edge(1, 2);
+  g.set_vertex_weight(2, 7.0);
+  g.finalize();
+  std::ostringstream os;
+  ht::write_dot(g, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("graph G {"), std::string::npos);
+  EXPECT_NE(out.find("v0 -- v1"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_NE(out.find("w=7"), std::string::npos);
+}
+
+TEST(Dot, HypergraphExportIsBipartite) {
+  ht::hypergraph::Hypergraph h(3);
+  h.add_edge({0, 1, 2}, 4.0);
+  h.finalize();
+  std::ostringstream os;
+  ht::write_dot(h, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("e0 [shape=box"), std::string::npos);
+  EXPECT_NE(out.find("e0 -- v0"), std::string::npos);
+  EXPECT_NE(out.find("e0 -- v2"), std::string::npos);
+  EXPECT_NE(out.find("w=4"), std::string::npos);
+}
+
+TEST(Dot, TreeExportShowsStructure) {
+  const auto g = ht::graph::grid(3, 3);
+  ht::cuttree::VertexCutTreeOptions options;
+  options.threshold_override = 0.45;
+  const auto built = ht::cuttree::build_vertex_cut_tree(g, options);
+  std::ostringstream os;
+  ht::write_dot(built.tree, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("digraph T {"), std::string::npos);
+  EXPECT_NE(out.find("inf"), std::string::npos);  // anchor nodes
+  EXPECT_NE(out.find("v0"), std::string::npos);   // embedded vertices
+  EXPECT_NE(out.find("->"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "hypergraph/generators.hpp"
+#include "partition/exact.hpp"
+#include "partition/fm.hpp"
+#include "partition/fm_fast.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+
+TEST(FmFast, RefineKeepsBalanceAndNeverWorsens) {
+  ht::Rng rng(1);
+  const Hypergraph h = ht::hypergraph::planted_bisection(12, 3, 50, 2, rng);
+  std::vector<bool> start(24, false);
+  for (VertexId v = 0; v < 12; ++v)
+    start[static_cast<std::size_t>(2 * v)] = true;
+  const double start_cut = h.cut_weight(start);
+  const auto refined = ht::partition::fm_refine_fast(h, start);
+  ht::partition::validate_bisection(h, refined);
+  EXPECT_LE(refined.cut, start_cut);
+}
+
+TEST(FmFast, RecoversPlantedBisection) {
+  ht::Rng rng(2);
+  const Hypergraph h = ht::hypergraph::planted_bisection(16, 3, 80, 2, rng);
+  const auto sol = ht::partition::fm_bisection_fast(h, rng, 8);
+  ht::partition::validate_bisection(h, sol);
+  EXPECT_LE(sol.cut, 2.0 + 1e-9);
+}
+
+class FmCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FmCrossCheck, FastMatchesReferenceQuality) {
+  // Both variants start from the same partitions; the fast variant must
+  // land within a whisker of the reference (tie-breaking may differ, both
+  // are monotone refiners of the same start).
+  ht::Rng rng(GetParam());
+  const Hypergraph h = ht::hypergraph::random_uniform(16, 28, 3, rng);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<VertexId> perm(16);
+    for (VertexId v = 0; v < 16; ++v) perm[static_cast<std::size_t>(v)] = v;
+    rng.shuffle(perm);
+    std::vector<bool> start(16, false);
+    for (VertexId i = 0; i < 8; ++i)
+      start[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] =
+          true;
+    const auto ref = ht::partition::fm_refine(h, start);
+    const auto fast = ht::partition::fm_refine_fast(h, start);
+    ht::partition::validate_bisection(h, ref);
+    ht::partition::validate_bisection(h, fast);
+    const double start_cut = h.cut_weight(start);
+    EXPECT_LE(ref.cut, start_cut + 1e-9);
+    EXPECT_LE(fast.cut, start_cut + 1e-9);
+    // Quality parity within a modest additive slack — tie-breaking and
+    // pass order legitimately diverge, in either direction.
+    EXPECT_LE(fast.cut, ref.cut + 4.0 + 1e-9);
+    EXPECT_LE(ref.cut, fast.cut + 4.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmCrossCheck,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FmFast, MatchesExactOftenOnSmall) {
+  ht::Rng rng(9);
+  int hits = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const Hypergraph h = ht::hypergraph::random_uniform(10, 16, 3, rng);
+    const auto exact = ht::partition::exact_hypergraph_bisection(h);
+    const auto fast = ht::partition::fm_bisection_fast(h, rng, 12);
+    EXPECT_GE(fast.cut, exact.cut - 1e-9);
+    if (fast.cut <= exact.cut + 1e-9) ++hits;
+  }
+  EXPECT_GE(hits, 4);
+}
+
+TEST(FmFast, RejectsUnbalancedStart) {
+  Hypergraph h(4);
+  h.add_edge({0, 1});
+  h.finalize();
+  EXPECT_THROW(
+      ht::partition::fm_refine_fast(h, {true, true, true, false}),
+      std::logic_error);
+}
+
+TEST(FmFast, WeightedEdgesRespected) {
+  // Heavy edge must not be cut when a cheap alternative exists.
+  Hypergraph h(4);
+  h.add_edge({0, 1}, 100.0);
+  h.add_edge({2, 3}, 100.0);
+  h.add_edge({1, 2}, 1.0);
+  h.finalize();
+  const auto sol = ht::partition::fm_refine_fast(
+      h, {true, false, true, false});  // bad start cuts both heavies
+  ht::partition::validate_bisection(h, sol);
+  EXPECT_DOUBLE_EQ(sol.cut, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "hardness/dense_vs_random.hpp"
+#include "hardness/dks.hpp"
+#include "hypergraph/generators.hpp"
+#include "reduction/dks_mku.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ht::graph::Graph;
+using ht::graph::VertexId;
+using ht::hypergraph::Hypergraph;
+
+TEST(DenseVsRandom, DegreeStatsBasics) {
+  Hypergraph h(4);
+  h.add_edge({0, 1});
+  h.add_edge({0, 2});
+  h.add_edge({0, 3});
+  h.finalize();
+  const auto stats = ht::hardness::degree_stats(h);
+  EXPECT_DOUBLE_EQ(stats.max, 3.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 1.5);
+}
+
+TEST(DenseVsRandom, LogDensityMatchesAlpha) {
+  ht::Rng rng(1);
+  const int n = 150;
+  const double alpha = 0.6;
+  const double p = std::pow(static_cast<double>(n), 1.0 + alpha - 3);
+  const Hypergraph h = ht::hypergraph::gnpr(n, p, 3, rng);
+  const auto stats = ht::hardness::degree_stats(h);
+  EXPECT_NEAR(stats.log_density, alpha, 0.25);
+}
+
+TEST(DenseVsRandom, PlantedInstanceHasSmallUnion) {
+  // The planted dense sub-hypergraph should make the greedy ell-union far
+  // smaller than in a pure random instance — the Claim 1 gap. Strong
+  // planting (beta = 1.5) keeps the test robust: ~k^{2.5}/r edges live on
+  // just k vertices.
+  ht::Rng rng(2);
+  const int n = 120, r = 3, k = 16;
+  const double beta = 1.5;
+  const double p = std::pow(static_cast<double>(n), 1.0 + 0.5 - r);
+  const auto planted =
+      ht::hypergraph::planted_dense(n, p, r, k, beta, rng);
+  const auto ell = static_cast<std::int64_t>(
+      std::llround(std::pow(static_cast<double>(k), 1.0 + beta) / r));
+  ASSERT_GE(planted.hypergraph.num_edges(), ell);
+  // The planted instance CONTAINS an ell-union of size <= k: the witness.
+  std::vector<ht::hypergraph::EdgeId> witness;
+  for (ht::hypergraph::EdgeId e = planted.first_planted_edge;
+       e < planted.hypergraph.num_edges() &&
+       static_cast<std::int64_t>(witness.size()) < ell;
+       ++e)
+    witness.push_back(e);
+  ASSERT_EQ(static_cast<std::int64_t>(witness.size()), ell);
+  const double witness_union =
+      ht::reduction::mku_union_weight(planted.hypergraph, witness);
+  EXPECT_LE(witness_union, static_cast<double>(k));
+
+  // A pure-random instance with the same edge count has NO small
+  // ell-union: both greedy and sampling stay far above k (fact 2/3 of
+  // Claim 1). This is the gap Conjecture 1 says is hard to detect.
+  ht::Rng rng2(4);
+  const Hypergraph random_h = ht::hypergraph::random_uniform(
+      n, planted.hypergraph.num_edges(), r, rng2);
+  ht::Rng eval_rng2(5);
+  const auto random_cov =
+      ht::hardness::union_coverage(random_h, ell, eval_rng2, 16);
+  EXPECT_GT(random_cov.greedy_union, 3.0 * k);
+  EXPECT_GT(random_cov.sampled_min, 3.0 * k);
+}
+
+TEST(DenseVsRandom, SampledUnionUpperBoundsGreedy) {
+  ht::Rng rng(6);
+  const Hypergraph h = ht::hypergraph::random_uniform(60, 80, 3, rng);
+  ht::Rng eval(7);
+  const auto cov = ht::hardness::union_coverage(h, 10, eval, 32);
+  // Greedy is at least as good as random sampling.
+  EXPECT_LE(cov.greedy_union, cov.sampled_min + 1e-9);
+}
+
+TEST(Dks, GreedyPeelFindsPlantedClique) {
+  // Sparse background + planted K6.
+  ht::Rng rng(8);
+  Graph g = ht::graph::gnp(40, 0.05, rng);
+  Graph with_clique(40);
+  for (const auto& e : g.edges()) with_clique.add_edge(e.u, e.v, e.weight);
+  for (VertexId a = 0; a < 6; ++a)
+    for (VertexId b = a + 1; b < 6; ++b) with_clique.add_edge(a, b);
+  with_clique.finalize();
+  const auto sol = ht::hardness::dks_greedy_peel(with_clique, 6);
+  ASSERT_TRUE(sol.valid);
+  EXPECT_GE(sol.induced_edges, 15);  // K6 has 15 edges (+ maybe background)
+}
+
+TEST(Dks, ExactMatchesOnSmall) {
+  ht::Rng rng(9);
+  const Graph g = ht::graph::gnp(12, 0.3, rng);
+  if (g.num_edges() < 3) GTEST_SKIP();
+  const auto exact = ht::hardness::dks_exact(g, 5);
+  const auto greedy = ht::hardness::dks_greedy_peel(g, 5);
+  ASSERT_TRUE(exact.valid);
+  EXPECT_LE(greedy.induced_edges, exact.induced_edges);
+  EXPECT_GE(greedy.induced_edges, exact.induced_edges / 3);
+}
+
+TEST(Dks, ViaBisectionRoundTripIsFeasible) {
+  ht::Rng rng(10);
+  Graph g = ht::graph::gnp(16, 0.25, rng);
+  // Ensure some edges exist.
+  Graph dense(16);
+  for (const auto& e : g.edges()) dense.add_edge(e.u, e.v);
+  for (VertexId a = 0; a < 5; ++a)
+    for (VertexId b = a + 1; b < 5; ++b) dense.add_edge(a, b);
+  dense.finalize();
+  const auto sol = ht::hardness::dks_via_bisection(dense, 5, 42, 4);
+  ASSERT_TRUE(sol.valid);
+  EXPECT_EQ(sol.vertices.size(), 5u);
+  EXPECT_EQ(sol.induced_edges,
+            ht::reduction::induced_edges(dense, sol.vertices));
+  EXPECT_GT(sol.induced_edges, 0);
+}
+
+TEST(Dks, RoundTripWithinFSquaredOfExact) {
+  // Theorem 4 predicts the chain loses at most f^2; with small instances
+  // and a decent bisection solver the loss should be mild.
+  ht::Rng rng(11);
+  Graph g(14);
+  for (VertexId a = 0; a < 6; ++a)
+    for (VertexId b = a + 1; b < 6; ++b) g.add_edge(a, b);
+  for (VertexId v = 6; v < 14; ++v) g.add_edge(v, (v + 1) % 14 == 0 ? 0 : v - 6);
+  g.finalize();
+  const auto exact = ht::hardness::dks_exact(g, 6);
+  const auto chain = ht::hardness::dks_via_bisection(g, 6, 7, 6);
+  ASSERT_TRUE(exact.valid && chain.valid);
+  EXPECT_GE(chain.induced_edges, exact.induced_edges / 4);
+}
+
+}  // namespace

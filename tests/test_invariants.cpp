@@ -1,0 +1,106 @@
+// Small algebraic invariants of the cut primitives, checked over random
+// instances: complement symmetry, touching-vs-cut dominance, contraction
+// idempotence, monotonicity of cut values under edge addition, and
+// generator safety rails.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hypergraph/generators.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ht::hypergraph::EdgeId;
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+
+class CutAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CutAlgebra, CutIsComplementSymmetric) {
+  ht::Rng rng(GetParam());
+  const Hypergraph h = ht::hypergraph::random_uniform(16, 28, 3, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<bool> side(16, false);
+    for (int v = 0; v < 16; ++v) side[static_cast<std::size_t>(v)] =
+        rng.next_bool();
+    std::vector<bool> complement = side;
+    complement.flip();
+    EXPECT_DOUBLE_EQ(h.cut_weight(side), h.cut_weight(complement));
+  }
+}
+
+TEST_P(CutAlgebra, TouchingDominatesCut) {
+  ht::Rng rng(GetParam() * 3 + 1);
+  const Hypergraph h = ht::hypergraph::random_uniform(16, 28, 4, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<bool> side(16, false);
+    for (int v = 0; v < 16; ++v) side[static_cast<std::size_t>(v)] =
+        rng.next_bool(0.3);
+    // Every cut hyperedge touches S, so touching weight >= cut weight.
+    EXPECT_GE(h.touching_weight(side), h.cut_weight(side) - 1e-12);
+  }
+}
+
+TEST_P(CutAlgebra, CutSubadditiveOverUnion) {
+  // delta(S ∪ T) <= delta(S) + delta(T) for disjoint S, T (each cut edge
+  // of the union is cut by S or by T... in hypergraphs an edge cut by the
+  // union must have a pin outside and a pin inside, hence inside S or T,
+  // and a pin outside both, so it is cut by that part). Checks the
+  // submodular flavor our Gomory–Hu construction relies on.
+  ht::Rng rng(GetParam() * 7 + 5);
+  const Hypergraph h = ht::hypergraph::random_uniform(18, 30, 3, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto pick = rng.sample_without_replacement(18, 8);
+    std::vector<bool> s(18, false), t(18, false), u(18, false);
+    for (int i = 0; i < 4; ++i) {
+      s[static_cast<std::size_t>(pick[static_cast<std::size_t>(i)])] = true;
+      u[static_cast<std::size_t>(pick[static_cast<std::size_t>(i)])] = true;
+    }
+    for (int i = 4; i < 8; ++i) {
+      t[static_cast<std::size_t>(pick[static_cast<std::size_t>(i)])] = true;
+      u[static_cast<std::size_t>(pick[static_cast<std::size_t>(i)])] = true;
+    }
+    EXPECT_LE(h.cut_weight(u), h.cut_weight(s) + h.cut_weight(t) + 1e-9);
+  }
+}
+
+TEST_P(CutAlgebra, ContractionIsIdempotentOnIdentity) {
+  ht::Rng rng(GetParam() * 11 + 3);
+  const Hypergraph h = ht::hypergraph::random_uniform(12, 20, 3, rng);
+  std::vector<std::int32_t> identity(12);
+  for (int v = 0; v < 12; ++v) identity[static_cast<std::size_t>(v)] = v;
+  const auto same = ht::hypergraph::contract(h, identity, 12);
+  EXPECT_EQ(same.num_vertices(), h.num_vertices());
+  // Edge multiset may merge duplicates, but total weight and all cut
+  // values must be preserved.
+  EXPECT_NEAR(same.total_edge_weight(), h.total_edge_weight(), 1e-9);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<bool> side(12, false);
+    for (int v = 0; v < 12; ++v) side[static_cast<std::size_t>(v)] =
+        rng.next_bool();
+    EXPECT_NEAR(same.cut_weight(side), h.cut_weight(side), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutAlgebra,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(GeneratorSafety, GnprRefusesToExplode) {
+  // Dense parameters must be capped, not allocate hundreds of millions of
+  // edges.
+  ht::Rng rng(1);
+  const Hypergraph h = ht::hypergraph::gnpr(64, 0.9, 3, rng);
+  EXPECT_LE(h.num_edges(), 2'100'000);
+}
+
+TEST(GeneratorSafety, PlantedBisectionDegenerateCross) {
+  ht::Rng rng(2);
+  const Hypergraph h = ht::hypergraph::planted_bisection(8, 3, 10, 0, rng);
+  std::vector<bool> planted(16, false);
+  for (int v = 8; v < 16; ++v) planted[static_cast<std::size_t>(v)] = true;
+  EXPECT_DOUBLE_EQ(h.cut_weight(planted), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "hypergraph/generators.hpp"
+#include "partition/kway.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ht::hypergraph::Hypergraph;
+using ht::partition::kway_connectivity;
+using ht::partition::kway_cut;
+using ht::partition::kway_peel;
+using ht::partition::kway_random;
+using ht::partition::kway_recursive_bisection;
+using ht::partition::validate_kway;
+
+TEST(KWayObjectives, HandComputed) {
+  Hypergraph h(6);
+  h.add_edge({0, 1, 2});     // parts {0,0,1} -> spans 2 parts
+  h.add_edge({3, 4, 5});     // parts {1,2,2} -> spans 2 parts
+  h.add_edge({0, 3}, 2.0);   // parts {0,1}  -> spans 2 parts
+  h.add_edge({0, 1}, 4.0);   // parts {0,0}  -> internal
+  h.finalize();
+  const std::vector<std::int32_t> part{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(kway_cut(h, part), 1.0 + 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(kway_connectivity(h, part), 1.0 + 1.0 + 2.0);
+}
+
+TEST(KWayObjectives, ConnectivityExceedsCutOnWideEdges) {
+  Hypergraph h(6);
+  h.add_edge({0, 2, 4});  // touches parts 0,1,2 -> connectivity 2, cut 1
+  h.finalize();
+  const std::vector<std::int32_t> part{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(kway_cut(h, part), 1.0);
+  EXPECT_DOUBLE_EQ(kway_connectivity(h, part), 2.0);
+}
+
+TEST(KWayRecursive, RecoversPlantedCommunities) {
+  ht::Rng rng(1);
+  const Hypergraph h =
+      ht::hypergraph::planted_parts(4, 8, 3, 40, 4, rng);
+  ht::Rng prng(2);
+  const auto sol = kway_recursive_bisection(h, 4, prng);
+  validate_kway(h, sol);
+  // Planted solution has connectivity <= 4 (cross edges); allow slack for
+  // the heuristic but it must land near it.
+  EXPECT_LE(sol.connectivity, 12.0);
+}
+
+TEST(KWayRecursive, KOneIsTrivial) {
+  ht::Rng rng(3);
+  const Hypergraph h = ht::hypergraph::random_uniform(8, 10, 3, rng);
+  const auto sol = kway_recursive_bisection(h, 1, rng);
+  validate_kway(h, sol);
+  EXPECT_DOUBLE_EQ(sol.cut, 0.0);
+}
+
+TEST(KWayRecursive, NonPowerOfTwoRejected) {
+  ht::Rng rng(4);
+  const Hypergraph h = ht::hypergraph::random_uniform(12, 10, 3, rng);
+  EXPECT_THROW(kway_recursive_bisection(h, 3, rng), std::logic_error);
+}
+
+TEST(KWayPeel, ArbitraryK) {
+  ht::Rng rng(5);
+  const Hypergraph h = ht::hypergraph::planted_parts(3, 8, 3, 40, 3, rng);
+  ht::Rng prng(6);
+  const auto sol = kway_peel(h, 3, prng);
+  validate_kway(h, sol);
+  ht::Rng rrng(7);
+  const auto random = kway_random(h, 3, rrng);
+  validate_kway(h, random);
+  EXPECT_LT(sol.connectivity, random.connectivity);
+}
+
+TEST(KWayPeel, MatchesBisectionAtKTwo) {
+  ht::Rng rng(8);
+  const Hypergraph h = ht::hypergraph::planted_bisection(8, 3, 30, 2, rng);
+  ht::Rng prng(9);
+  const auto peel = kway_peel(h, 2, prng);
+  validate_kway(h, peel);
+  EXPECT_LE(peel.cut, 8.0);  // near the planted 2
+}
+
+TEST(KWayRandom, BalancedAndValid) {
+  ht::Rng rng(10);
+  const Hypergraph h = ht::hypergraph::random_uniform(24, 30, 3, rng);
+  for (std::int32_t k : {2, 3, 4, 6}) {
+    ht::Rng prng(static_cast<std::uint64_t>(k));
+    const auto sol = kway_random(h, k, prng);
+    validate_kway(h, sol);
+    EXPECT_EQ(sol.k, k);
+  }
+}
+
+TEST(PlantedParts, GeneratorShape) {
+  ht::Rng rng(11);
+  const Hypergraph h = ht::hypergraph::planted_parts(3, 6, 3, 10, 5, rng);
+  EXPECT_EQ(h.num_vertices(), 18);
+  EXPECT_EQ(h.num_edges(), 35);
+  // Planted assignment has connectivity <= cross edges.
+  std::vector<std::int32_t> part(18);
+  for (int v = 0; v < 18; ++v) part[static_cast<std::size_t>(v)] = v / 6;
+  EXPECT_LE(kway_connectivity(h, part), 5.0);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "hypergraph/generators.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "partition/exact.hpp"
+#include "partition/multilevel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+
+// ---------- contraction ----------
+
+TEST(Contract, MergesPinsAndWeights) {
+  Hypergraph h(4);
+  h.add_edge({0, 1}, 1.0);
+  h.add_edge({0, 2}, 2.0);
+  h.add_edge({1, 2}, 4.0);
+  h.add_edge({2, 3}, 8.0);
+  h.set_vertex_weight(1, 3.0);
+  h.finalize();
+  // Clusters: {0,1} -> 0, {2} -> 1, {3} -> 2.
+  const auto coarse = ht::hypergraph::contract(h, {0, 0, 1, 2}, 3);
+  EXPECT_EQ(coarse.num_vertices(), 3);
+  // Edge {0,1} collapses; {0,2} and {1,2} merge into {c0,c1} weight 6;
+  // {2,3} -> {c1,c2} weight 8.
+  EXPECT_EQ(coarse.num_edges(), 2);
+  double total = 0.0;
+  for (ht::hypergraph::EdgeId e = 0; e < coarse.num_edges(); ++e)
+    total += coarse.edge_weight(e);
+  EXPECT_DOUBLE_EQ(total, 14.0);
+  EXPECT_DOUBLE_EQ(coarse.vertex_weight(0), 4.0);  // 1 + 3
+}
+
+TEST(Contract, CutsArePreservedUnderRefinementOfClusters) {
+  // Any partition of the coarse hypergraph lifts to a partition of the
+  // fine one with the SAME cut (cluster-respecting cuts are preserved).
+  ht::Rng rng(1);
+  const Hypergraph h = ht::hypergraph::random_uniform(12, 20, 3, rng);
+  std::vector<std::int32_t> cluster(12);
+  for (int v = 0; v < 12; ++v) cluster[static_cast<std::size_t>(v)] = v / 2;
+  const auto coarse = ht::hypergraph::contract(h, cluster, 6);
+  for (std::uint32_t mask = 1; mask < 63; ++mask) {
+    std::vector<bool> coarse_side(6, false);
+    for (int c = 0; c < 6; ++c) coarse_side[static_cast<std::size_t>(c)] =
+        (mask >> c) & 1u;
+    std::vector<bool> fine_side(12, false);
+    for (int v = 0; v < 12; ++v)
+      fine_side[static_cast<std::size_t>(v)] =
+          coarse_side[static_cast<std::size_t>(v / 2)];
+    EXPECT_NEAR(coarse.cut_weight(coarse_side), h.cut_weight(fine_side),
+                1e-9);
+  }
+}
+
+TEST(Contract, DropsCollapsedEdges) {
+  Hypergraph h(3);
+  h.add_edge({0, 1, 2});
+  h.finalize();
+  const auto coarse = ht::hypergraph::contract(h, {0, 0, 0}, 1);
+  EXPECT_EQ(coarse.num_edges(), 0);
+  EXPECT_DOUBLE_EQ(coarse.vertex_weight(0), 3.0);
+}
+
+// ---------- multilevel bisection ----------
+
+TEST(Multilevel, ValidOnRandomInstances) {
+  ht::Rng rng(2);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Hypergraph h = ht::hypergraph::random_uniform(40, 80, 3, rng);
+    ht::Rng prng(static_cast<std::uint64_t>(trial));
+    const auto sol = ht::partition::multilevel_bisection(h, prng);
+    ht::partition::validate_bisection(h, sol);
+  }
+}
+
+TEST(Multilevel, RecoversPlantedBisection) {
+  ht::Rng rng(3);
+  const Hypergraph h = ht::hypergraph::planted_bisection(32, 3, 160, 4, rng);
+  ht::Rng prng(4);
+  const auto sol = ht::partition::multilevel_bisection(h, prng);
+  ht::partition::validate_bisection(h, sol);
+  EXPECT_LE(sol.cut, 4.0 + 1e-9);
+}
+
+TEST(Multilevel, NearExactOnSmall) {
+  ht::Rng rng(5);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Hypergraph h = ht::hypergraph::random_uniform(12, 20, 3, rng);
+    const auto exact = ht::partition::exact_hypergraph_bisection(h);
+    ht::Rng prng(static_cast<std::uint64_t>(trial) + 7);
+    const auto sol = ht::partition::multilevel_bisection(h, prng);
+    ht::partition::validate_bisection(h, sol);
+    EXPECT_GE(sol.cut, exact.cut - 1e-9);
+    EXPECT_LE(sol.cut, 2.0 * exact.cut + 2.0);
+  }
+}
+
+TEST(Multilevel, HandlesEdgelessInstances) {
+  Hypergraph h(8);
+  h.finalize();
+  ht::Rng rng(6);
+  const auto sol = ht::partition::multilevel_bisection(h, rng);
+  ht::partition::validate_bisection(h, sol);
+  EXPECT_DOUBLE_EQ(sol.cut, 0.0);
+}
+
+TEST(Multilevel, LargerInstanceBeatsRandomClearly) {
+  ht::Rng rng(7);
+  const Hypergraph h = ht::hypergraph::netlist_like(256, 420, 4, rng);
+  ht::Rng prng(8);
+  const auto sol = ht::partition::multilevel_bisection(h, prng);
+  ht::partition::validate_bisection(h, sol);
+  // Random balanced partitions cut roughly half the nets; multilevel
+  // should do far better on a local netlist.
+  std::vector<bool> naive(256, false);
+  for (int v = 0; v < 128; ++v) naive[static_cast<std::size_t>(2 * v)] = true;
+  EXPECT_LT(sol.cut, h.cut_weight(naive));
+}
+
+}  // namespace

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "partition/exact.hpp"
+#include "partition/fm.hpp"
+#include "partition/min_ratio_cut.hpp"
+#include "partition/mku.hpp"
+#include "partition/sparsest_cut.hpp"
+#include "partition/unbalanced_kcut.hpp"
+#include "reduction/clique_expansion.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ht::graph::Graph;
+using ht::hypergraph::Hypergraph;
+using ht::hypergraph::VertexId;
+
+// ---------- min-ratio vertex cut ----------
+
+TEST(MinRatioCut, ExactOnPath) {
+  // Path of 5: best separator is the middle vertex; sparsity
+  // 1 / (2 + 1) = 1/3.
+  const Graph g = ht::graph::path(5);
+  const auto sep = ht::partition::min_ratio_vertex_cut_exact(g);
+  ASSERT_TRUE(sep.valid);
+  EXPECT_NEAR(sep.sparsity, 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(sep.x.size(), 1u);
+}
+
+TEST(MinRatioCut, ExactOnDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  const auto sep = ht::partition::min_ratio_vertex_cut_exact(g);
+  ASSERT_TRUE(sep.valid);
+  EXPECT_DOUBLE_EQ(sep.sparsity, 0.0);
+  EXPECT_TRUE(sep.x.empty());
+}
+
+TEST(MinRatioCut, SparsityValidatorRejectsCrossingEdges) {
+  const Graph g = ht::graph::path(3);
+  ht::partition::VertexSeparator bad;
+  bad.a = {0};
+  bad.b = {1};
+  bad.x = {2};
+  EXPECT_THROW(ht::partition::separator_sparsity(g, bad), std::logic_error);
+}
+
+TEST(MinRatioCut, HeuristicValidAndMeasuredAlpha) {
+  // On small instances the heuristic's sparsity should be within a modest
+  // factor of the exact optimum (this pins the measured alpha).
+  ht::Rng rng(3);
+  double worst_alpha = 1.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = ht::graph::gnp_connected(12, 0.25, rng);
+    const auto exact = ht::partition::min_ratio_vertex_cut_exact(g);
+    ht::Rng heuristic_rng(trial);
+    const auto heur = ht::partition::min_ratio_vertex_cut(g, heuristic_rng);
+    if (!exact.valid) continue;
+    ASSERT_TRUE(heur.valid);
+    const double check = ht::partition::separator_sparsity(g, heur);
+    EXPECT_NEAR(check, heur.sparsity, 1e-9);
+    if (exact.sparsity > 0)
+      worst_alpha = std::max(worst_alpha, heur.sparsity / exact.sparsity);
+  }
+  EXPECT_LE(worst_alpha, 4.0) << "heuristic min-ratio cut strayed too far";
+}
+
+TEST(MinRatioCut, HeuristicOnWeightedFigure3) {
+  const auto fig = ht::graph::figure3_gh(16);
+  ht::Rng rng(5);
+  const auto sep = ht::partition::min_ratio_vertex_cut(fig.graph, rng);
+  ASSERT_TRUE(sep.valid);
+  // Sanity: a valid separator with sparsity < 1.
+  EXPECT_LT(sep.sparsity, 1.0);
+}
+
+// ---------- sparsest hyperedge cut ----------
+
+TEST(SparsestCut, ExactOnTwoClusters) {
+  // Two triangles joined by one 2-pin edge: the optimum is the joint.
+  Hypergraph h(6);
+  h.add_edge({0, 1, 2});
+  h.add_edge({0, 1});
+  h.add_edge({3, 4, 5});
+  h.add_edge({4, 5});
+  h.add_edge({2, 3});
+  h.finalize();
+  const auto cut = ht::partition::sparsest_hyperedge_cut_exact(h);
+  ASSERT_TRUE(cut.valid);
+  EXPECT_DOUBLE_EQ(cut.cut, 1.0);
+  EXPECT_EQ(cut.smaller_side.size(), 3u);
+  EXPECT_NEAR(cut.sparsity, 1.0 / 3.0, 1e-9);
+}
+
+TEST(SparsestCut, HeuristicNearExactOnSmall) {
+  ht::Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Hypergraph h = ht::hypergraph::random_uniform(12, 18, 3, rng);
+    const auto exact = ht::partition::sparsest_hyperedge_cut_exact(h);
+    ht::Rng hrng(trial + 100);
+    const auto heur = ht::partition::sparsest_hyperedge_cut(h, hrng);
+    if (!exact.valid || !heur.valid) continue;
+    EXPECT_LE(exact.sparsity, heur.sparsity + 1e-9);
+    EXPECT_LE(heur.sparsity, 5.0 * exact.sparsity + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(SparsestCut, DisconnectedIsFree) {
+  Hypergraph h(5);
+  h.add_edge({0, 1});
+  h.add_edge({3, 4});
+  h.finalize();
+  ht::Rng rng(9);
+  const auto cut = ht::partition::sparsest_hyperedge_cut(h, rng);
+  ASSERT_TRUE(cut.valid);
+  EXPECT_DOUBLE_EQ(cut.cut, 0.0);
+  EXPECT_DOUBLE_EQ(cut.sparsity, 0.0);
+}
+
+// ---------- FM ----------
+
+TEST(Fm, RefineKeepsBalanceAndImproves) {
+  ht::Rng rng(11);
+  const Hypergraph h = ht::hypergraph::planted_bisection(10, 3, 30, 2, rng);
+  std::vector<bool> start(20, false);
+  for (VertexId v = 0; v < 10; ++v) start[static_cast<std::size_t>(2 * v)] =
+      true;  // interleaved = bad start
+  const double start_cut = h.cut_weight(start);
+  const auto refined = ht::partition::fm_refine(h, start);
+  ht::partition::validate_bisection(h, refined);
+  EXPECT_LE(refined.cut, start_cut);
+}
+
+TEST(Fm, RecoversPlantedBisection) {
+  ht::Rng rng(13);
+  const Hypergraph h = ht::hypergraph::planted_bisection(12, 3, 60, 2, rng);
+  const auto sol = ht::partition::fm_bisection(h, rng, 8);
+  ht::partition::validate_bisection(h, sol);
+  EXPECT_LE(sol.cut, 2.0 + 1e-9);
+}
+
+TEST(Fm, MatchesExactOnSmallInstances) {
+  ht::Rng rng(17);
+  int optimal_hits = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const Hypergraph h = ht::hypergraph::random_uniform(10, 16, 3, rng);
+    const auto exact = ht::partition::exact_hypergraph_bisection(h);
+    const auto fm = ht::partition::fm_bisection(h, rng, 12);
+    EXPECT_GE(fm.cut, exact.cut - 1e-9);
+    if (fm.cut <= exact.cut + 1e-9) ++optimal_hits;
+  }
+  EXPECT_GE(optimal_hits, 4) << "FM should usually find the optimum at n=10";
+}
+
+TEST(Fm, RejectsUnbalancedStart) {
+  Hypergraph h(4);
+  h.add_edge({0, 1});
+  h.finalize();
+  EXPECT_THROW(
+      ht::partition::fm_refine(h, {true, true, true, false}),
+      std::logic_error);
+}
+
+TEST(Fm, ValidatorCatchesCorruptedSolution) {
+  Hypergraph h(4);
+  h.add_edge({0, 1});
+  h.finalize();
+  ht::partition::BisectionSolution bad;
+  bad.valid = true;
+  bad.side = {true, true, false, false};
+  bad.cut = 12345.0;
+  EXPECT_THROW(ht::partition::validate_bisection(h, bad), std::logic_error);
+}
+
+// ---------- unbalanced k-cut ----------
+
+TEST(KCut, ExactSimple) {
+  // Path hypergraph 0-1-2-3-4: removing {0} cuts 1 edge; removing {0,1}
+  // cuts 1 edge.
+  Hypergraph h(5);
+  for (VertexId v = 0; v + 1 < 5; ++v) h.add_edge({v, v + 1});
+  h.finalize();
+  const auto one = ht::partition::unbalanced_kcut_exact(h, 1);
+  ASSERT_TRUE(one.valid);
+  EXPECT_DOUBLE_EQ(one.cut, 1.0);
+  const auto two = ht::partition::unbalanced_kcut_exact(h, 2);
+  ASSERT_TRUE(two.valid);
+  EXPECT_DOUBLE_EQ(two.cut, 1.0);
+}
+
+TEST(KCut, HeuristicNearExact) {
+  ht::Rng rng(19);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Hypergraph h = ht::hypergraph::random_uniform(14, 22, 3, rng);
+    for (std::int32_t k : {2, 4, 7}) {
+      const auto exact = ht::partition::unbalanced_kcut_exact(h, k);
+      ht::Rng hrng(trial * 10 + k);
+      const auto heur = ht::partition::unbalanced_kcut(h, k, hrng);
+      ASSERT_TRUE(heur.valid);
+      EXPECT_EQ(static_cast<std::int32_t>(heur.set.size()), k);
+      EXPECT_GE(heur.cut, exact.cut - 1e-9);
+      EXPECT_LE(heur.cut, 3.0 * exact.cut + 3.0) << "k=" << k;
+      // Witness re-evaluation agrees.
+      EXPECT_NEAR(heur.cut, h.cut_weight(heur.set), 1e-9);
+    }
+  }
+}
+
+TEST(KCut, ProfileIsConsistent) {
+  ht::Rng rng(23);
+  const Hypergraph h = ht::hypergraph::random_uniform(20, 30, 4, rng);
+  const auto profile = ht::partition::unbalanced_kcut_profile(h, 10, rng);
+  ASSERT_EQ(profile.cost.size(), 11u);
+  EXPECT_DOUBLE_EQ(profile.cost[0], 0.0);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    ASSERT_EQ(profile.sets[k].size(), k) << "k=" << k;
+    EXPECT_NEAR(profile.cost[k], h.cut_weight(profile.sets[k]), 1e-9);
+  }
+}
+
+TEST(KCut, CliqueExpansionPathMatchesPropositionOne) {
+  ht::Rng rng(29);
+  const Hypergraph h = ht::hypergraph::random_uniform(14, 20, 4, rng);
+  for (std::int32_t k : {3, 6}) {
+    const auto exact = ht::partition::unbalanced_kcut_exact(h, k);
+    ht::Rng hrng(k);
+    const auto viaclique =
+        ht::partition::unbalanced_kcut_via_clique_expansion(h, k, hrng);
+    ASSERT_TRUE(viaclique.valid);
+    // Proposition 1 bound (with our heuristic in place of the O(log n)
+    // black box): within min(k, hmax/2) * small factor of optimum.
+    const double bound = ht::reduction::lemma1_bound(k, h.max_edge_size());
+    EXPECT_LE(viaclique.cut, bound * 4.0 * std::max(exact.cut, 1.0))
+        << "k=" << k;
+  }
+}
+
+TEST(KCut, GraphVariant) {
+  ht::Rng rng(31);
+  const Graph g = ht::graph::grid(4, 5);
+  const auto cut = ht::partition::unbalanced_kcut_graph(g, 4, rng);
+  ASSERT_TRUE(cut.valid);
+  EXPECT_EQ(cut.set.size(), 4u);
+  // A 2x2 corner block of the grid cuts 4 edges.
+  EXPECT_LE(cut.cut, 4.0 + 1e-9);
+}
+
+// ---------- MkU ----------
+
+TEST(Mku, GreedyOnDisjointSets) {
+  Hypergraph h(9);
+  h.add_edge({0, 1});           // size 2
+  h.add_edge({2, 3, 4});        // size 3
+  h.add_edge({5, 6, 7, 8});     // size 4
+  h.finalize();
+  const auto sol = ht::partition::mku_greedy(h, 2);
+  ASSERT_TRUE(sol.valid);
+  EXPECT_DOUBLE_EQ(sol.union_weight, 5.0);  // sizes 2 + 3
+}
+
+TEST(Mku, GreedyExploitsOverlap) {
+  Hypergraph h(6);
+  h.add_edge({0, 1, 2});
+  h.add_edge({0, 1, 3});  // overlaps the first
+  h.add_edge({4, 5});
+  h.finalize();
+  const auto sol = ht::partition::mku_greedy(h, 2);
+  // Greedy takes {4,5} first (size 2) then one triple: union 5. The true
+  // optimum is the two overlapping triples: union 4. Local search fixes it.
+  const auto improved = ht::partition::mku_local_search(h, 2);
+  EXPECT_DOUBLE_EQ(improved.union_weight, 4.0);
+  EXPECT_GE(sol.union_weight, improved.union_weight);
+}
+
+TEST(Mku, ExactMatchesEnumeration) {
+  ht::Rng rng(37);
+  const Hypergraph h = ht::hypergraph::random_uniform(12, 10, 3, rng);
+  for (std::int32_t k : {2, 3, 5}) {
+    const auto exact = ht::partition::mku_exact(h, k);
+    const auto greedy = ht::partition::mku_local_search(h, k);
+    ASSERT_TRUE(exact.valid);
+    EXPECT_GE(greedy.union_weight, exact.union_weight - 1e-9);
+    EXPECT_LE(greedy.union_weight, 2.0 * exact.union_weight + 1e-9)
+        << "k=" << k;
+  }
+}
+
+// ---------- exact bisection ----------
+
+TEST(ExactBisection, KnownOptimum) {
+  // Two triangles plus one cross edge: optimum = 1.
+  Hypergraph h(6);
+  h.add_edge({0, 1, 2});
+  h.add_edge({3, 4, 5});
+  h.add_edge({2, 3});
+  h.finalize();
+  const auto sol = ht::partition::exact_hypergraph_bisection(h);
+  ASSERT_TRUE(sol.valid);
+  EXPECT_DOUBLE_EQ(sol.cut, 1.0);
+}
+
+TEST(ExactBisection, GraphWrapper) {
+  const Graph g = ht::graph::grid(2, 4);
+  const auto sol = ht::partition::exact_graph_bisection(g);
+  ASSERT_TRUE(sol.valid);
+  EXPECT_DOUBLE_EQ(sol.cut, 2.0);  // split the 2x4 grid down the middle
+}
+
+TEST(ExactBisection, RejectsOddVertexCount) {
+  Hypergraph h(3);
+  h.add_edge({0, 1});
+  h.finalize();
+  EXPECT_THROW(ht::partition::exact_hypergraph_bisection(h),
+               std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,316 @@
+// Cross-module randomized property suites. Each property is the paper's
+// own invariant (domination, sandwich bounds, symmetry, exactness-on-
+// trees) checked over families of random instances via TEST_P sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bisection.hpp"
+#include "core/vertex_bisection.hpp"
+#include "cuttree/quality.hpp"
+#include "cuttree/tree_bisection.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "flow/min_cut.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "partition/exact.hpp"
+#include "partition/mku.hpp"
+#include "partition/sparsest_cut.hpp"
+#include "partition/unbalanced_kcut.hpp"
+#include "reduction/mku_bisection.hpp"
+#include "reduction/star_expansion.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ht::graph::Graph;
+using ht::graph::VertexId;
+using ht::hypergraph::Hypergraph;
+
+// ---------- domination across generator families ----------
+
+enum class Family { kGnp, kGrid, kRegular, kFigure3 };
+
+struct DominationParam {
+  Family family;
+  std::int32_t n;
+  std::uint64_t seed;
+};
+
+Graph make_graph(const DominationParam& p, ht::Rng& rng) {
+  switch (p.family) {
+    case Family::kGnp:
+      return ht::graph::gnp_connected(p.n, 4.0 / p.n, rng);
+    case Family::kGrid: {
+      const auto side = static_cast<VertexId>(
+          std::lround(std::sqrt(static_cast<double>(p.n))));
+      return ht::graph::grid(side, side);
+    }
+    case Family::kRegular:
+      return ht::graph::random_regular(p.n, 4, rng);
+    case Family::kFigure3:
+      return ht::graph::figure3_gh(p.n / 2).graph;
+  }
+  return {};
+}
+
+class DominationProperty : public ::testing::TestWithParam<DominationParam> {
+};
+
+TEST_P(DominationProperty, TreeDominatesAndDpMatchesFlow) {
+  const auto p = GetParam();
+  ht::Rng rng(p.seed);
+  const Graph g = make_graph(p, rng);
+  const auto n = g.num_vertices();
+  ht::cuttree::VertexCutTreeOptions options;
+  options.seed = p.seed * 13 + 1;
+  const auto built = ht::cuttree::build_vertex_cut_tree(g, options);
+  const auto pairs = ht::cuttree::random_set_pairs(
+      n, 20, std::max<VertexId>(2, n / 6), rng);
+  for (const auto& [a, b] : pairs) {
+    const double gamma_g = ht::flow::min_vertex_cut(g, a, b).value;
+    const double gamma_t_flow =
+        ht::cuttree::tree_vertex_cut_flow(built.tree, a, b);
+    const double gamma_t_dp =
+        ht::cuttree::tree_vertex_cut_dp(built.tree, a, b);
+    EXPECT_GE(gamma_t_flow, gamma_g - 1e-6);            // domination
+    EXPECT_NEAR(gamma_t_flow, gamma_t_dp, 1e-6);        // two impls agree
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DominationProperty,
+    ::testing::Values(DominationParam{Family::kGnp, 24, 1},
+                      DominationParam{Family::kGnp, 48, 2},
+                      DominationParam{Family::kGrid, 36, 3},
+                      DominationParam{Family::kGrid, 64, 4},
+                      DominationParam{Family::kRegular, 30, 5},
+                      DominationParam{Family::kRegular, 40, 6},
+                      DominationParam{Family::kFigure3, 40, 7},
+                      DominationParam{Family::kFigure3, 60, 8}));
+
+// ---------- flow symmetry & monotonicity ----------
+
+class FlowSymmetry : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowSymmetry, CutsAreSymmetricInTerminals) {
+  ht::Rng rng(GetParam());
+  const Graph g = ht::graph::gnp_connected(14, 0.3, rng);
+  const Hypergraph h = ht::hypergraph::random_uniform(14, 24, 3, rng);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto pick = rng.sample_without_replacement(14, 4);
+    const std::vector<VertexId> a{pick[0], pick[1]}, b{pick[2], pick[3]};
+    EXPECT_NEAR(ht::flow::min_edge_cut(g, a, b).value,
+                ht::flow::min_edge_cut(g, b, a).value, 1e-9);
+    EXPECT_NEAR(ht::flow::min_vertex_cut(g, a, b).value,
+                ht::flow::min_vertex_cut(g, b, a).value, 1e-9);
+    EXPECT_NEAR(ht::flow::min_hyperedge_cut(h, a, b).value,
+                ht::flow::min_hyperedge_cut(h, b, a).value, 1e-9);
+  }
+}
+
+TEST_P(FlowSymmetry, AddingEdgesNeverDecreasesCuts) {
+  ht::Rng rng(GetParam() * 91 + 7);
+  Graph g = ht::graph::gnp_connected(12, 0.25, rng);
+  Graph denser(g.num_vertices());
+  for (const auto& e : g.edges()) denser.add_edge(e.u, e.v, e.weight);
+  for (int extra = 0; extra < 6; ++extra) {
+    const auto u = static_cast<VertexId>(rng.next_below(12));
+    const auto v = static_cast<VertexId>(rng.next_below(12));
+    if (u != v) denser.add_edge(u, v, 1.0 + rng.next_double());
+  }
+  denser.finalize();
+  for (int trial = 0; trial < 5; ++trial) {
+    auto pick = rng.sample_without_replacement(12, 2);
+    const std::vector<VertexId> a{pick[0]}, b{pick[1]};
+    EXPECT_GE(ht::flow::min_edge_cut(denser, a, b).value,
+              ht::flow::min_edge_cut(g, a, b).value - 1e-9);
+  }
+}
+
+TEST_P(FlowSymmetry, ScalingWeightsScalesCuts) {
+  ht::Rng rng(GetParam() * 131 + 17);
+  const Graph g = ht::graph::gnp_connected(12, 0.3, rng);
+  Graph scaled(g.num_vertices());
+  const double factor = 3.5;
+  for (const auto& e : g.edges()) scaled.add_edge(e.u, e.v, e.weight * factor);
+  scaled.finalize();
+  auto pick = rng.sample_without_replacement(12, 2);
+  const std::vector<VertexId> a{pick[0]}, b{pick[1]};
+  EXPECT_NEAR(ht::flow::min_edge_cut(scaled, a, b).value,
+              factor * ht::flow::min_edge_cut(g, a, b).value, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowSymmetry,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------- Theorem 1 fuzz ----------
+
+struct FuzzParam {
+  std::int32_t n;
+  std::int32_t m;
+  std::int32_t r;
+  std::uint64_t seed;
+};
+
+class Theorem1Fuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(Theorem1Fuzz, AlwaysValidAndAboveOpt) {
+  const auto p = GetParam();
+  ht::Rng rng(p.seed);
+  const Hypergraph h = ht::hypergraph::random_uniform(p.n, p.m, p.r, rng);
+  ht::core::Theorem1Options options;
+  options.seed = p.seed;
+  options.guesses = 6;
+  const auto report = ht::core::bisect_theorem1(h, options);
+  ht::partition::validate_bisection(h, report.solution);
+  if (p.n <= 16) {
+    const auto exact = ht::partition::exact_hypergraph_bisection(h);
+    EXPECT_GE(report.solution.cut, exact.cut - 1e-9);
+    // On these sizes we also bound the measured ratio loosely.
+    EXPECT_LE(report.solution.cut, 3.0 * exact.cut + 3.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, Theorem1Fuzz,
+    ::testing::Values(FuzzParam{10, 14, 3, 1}, FuzzParam{12, 20, 4, 2},
+                      FuzzParam{14, 28, 3, 3}, FuzzParam{16, 24, 5, 4},
+                      FuzzParam{20, 40, 3, 5}, FuzzParam{24, 36, 6, 6},
+                      FuzzParam{30, 60, 4, 7}, FuzzParam{40, 80, 3, 8}));
+
+class CutTreeBisectionFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(CutTreeBisectionFuzz, AlwaysValid) {
+  const auto p = GetParam();
+  ht::Rng rng(p.seed * 7 + 3);
+  const Hypergraph h = ht::hypergraph::random_uniform(p.n, p.m, p.r, rng);
+  ht::core::CutTreeBisectionOptions options;
+  options.seed = p.seed;
+  const auto report = ht::core::bisect_via_cut_tree(h, options);
+  ht::partition::validate_bisection(h, report.solution);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, CutTreeBisectionFuzz,
+    ::testing::Values(FuzzParam{10, 14, 3, 1}, FuzzParam{12, 20, 4, 2},
+                      FuzzParam{16, 24, 5, 3}, FuzzParam{20, 40, 3, 4},
+                      FuzzParam{24, 36, 6, 5}));
+
+// ---------- sparsest cut: heuristic never beats exact ----------
+
+class SparsestCutBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SparsestCutBound, HeuristicAboveExact) {
+  ht::Rng rng(GetParam());
+  const Hypergraph h = ht::hypergraph::random_uniform(12, 18, 3, rng);
+  const auto exact = ht::partition::sparsest_hyperedge_cut_exact(h);
+  ht::Rng hrng(GetParam() + 50);
+  const auto heur = ht::partition::sparsest_hyperedge_cut(h, hrng);
+  if (exact.valid && heur.valid) {
+    EXPECT_GE(heur.sparsity, exact.sparsity - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparsestCutBound,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------- k-cut profiles ----------
+
+class KCutProfileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KCutProfileProperty, WitnessesConsistentAndAboveExact) {
+  ht::Rng rng(GetParam() * 3 + 1);
+  const Hypergraph h = ht::hypergraph::random_uniform(12, 20, 3, rng);
+  ht::Rng prng(GetParam());
+  const auto profile = ht::partition::unbalanced_kcut_profile(h, 6, prng);
+  for (std::int32_t k = 1; k <= 6; ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    ASSERT_EQ(profile.sets[idx].size(), static_cast<std::size_t>(k));
+    EXPECT_NEAR(profile.cost[idx], h.cut_weight(profile.sets[idx]), 1e-9);
+    const auto exact = ht::partition::unbalanced_kcut_exact(h, k);
+    EXPECT_GE(profile.cost[idx], exact.cut - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KCutProfileProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------- Theorem 3 on random instances ----------
+
+class MkuBisectionRoundTrip : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MkuBisectionRoundTrip, OptimaCoincide) {
+  ht::Rng rng(GetParam() * 97 + 13);
+  // Random instance with all items covered (patch if needed).
+  Hypergraph base(8);
+  for (int e = 0; e < 6; ++e) {
+    auto pins = rng.sample_without_replacement(8, 3);
+    base.add_edge({pins.begin(), pins.end()});
+  }
+  base.finalize();
+  const auto k = static_cast<std::int32_t>(1 + rng.next_below(5));
+  ht::reduction::MkuInstance inst{base, k};
+  const auto red = ht::reduction::mku_to_bisection(inst);
+  const auto bis_opt =
+      ht::partition::exact_hypergraph_bisection(red.bisection_instance);
+  const auto mku_opt = ht::partition::mku_exact(base, k);
+  EXPECT_NEAR(bis_opt.cut, mku_opt.union_weight, 1e-9) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MkuBisectionRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------- vertex bisection sandwich ----------
+
+class VertexBisectionSandwich
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VertexBisectionSandwich, ExactBelowTreePipeline) {
+  ht::Rng rng(GetParam() * 11 + 5);
+  const Graph g = ht::graph::gnp_connected(14, 0.25, rng);
+  const auto exact = ht::core::exact_vertex_bisection(g);
+  ht::core::VertexBisectionOptions options;
+  options.seed = GetParam();
+  const auto tree = ht::core::vertex_bisection_via_cut_tree(g, options);
+  ht::core::validate_vertex_bisection(g, exact);
+  ht::core::validate_vertex_bisection(g, tree);
+  EXPECT_GE(tree.separator_weight, exact.separator_weight - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VertexBisectionSandwich,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------- balanced tree DP sanity on star-expansion trees ----------
+
+class TreeDpSanity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeDpSanity, BalancedAndBoundedByTotalWeight) {
+  ht::Rng rng(GetParam() * 19 + 3);
+  const Hypergraph h = ht::hypergraph::random_uniform(12, 20, 3, rng);
+  const auto star = ht::reduction::star_expansion(h);
+  ht::cuttree::VertexCutTreeOptions options;
+  options.seed = GetParam();
+  const auto built = ht::cuttree::build_vertex_cut_tree(star.graph, options);
+  std::vector<ht::cuttree::VertexId> counted;
+  for (std::int32_t v = 0; v < 12; ++v) counted.push_back(v);
+  const auto dp = ht::cuttree::balanced_tree_bisection(built.tree, counted);
+  ASSERT_TRUE(dp.valid);
+  std::size_t on_one = 0;
+  for (bool b : dp.side) on_one += b ? 1 : 0;
+  EXPECT_EQ(on_one, counted.size() / 2);
+  // Cutting every finite node is always feasible, so the DP optimum is
+  // bounded by the finite node weight total.
+  double finite_total = 0.0;
+  for (ht::cuttree::NodeId x = 0; x < built.tree.num_nodes(); ++x) {
+    const double w = built.tree.node_weight(x);
+    if (w < ht::cuttree::kInfiniteNodeWeight / 2) finite_total += w;
+  }
+  EXPECT_LE(dp.tree_cut, finite_total + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeDpSanity,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace

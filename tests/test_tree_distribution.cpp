@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "cuttree/tree_distribution.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "reduction/star_expansion.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+TEST(TreeDistribution, BuildsRequestedCount) {
+  const auto g = ht::graph::grid(4, 4);
+  const auto dist = ht::cuttree::build_tree_distribution(g, 5);
+  EXPECT_EQ(dist.trees.size(), 5u);
+  for (const auto& t : dist.trees) t.validate();
+}
+
+TEST(TreeDistribution, AverageNeverWorseThanBestSingleByMuch) {
+  // The averaged ratio is at most the worst single tree's ratio, and the
+  // evaluator must report average <= best single (averaging only helps
+  // when trees err on different pairs — but it can never beat every tree
+  // on a single pair family by definition of max).
+  ht::Rng rng(1);
+  const auto g = ht::graph::gnp_connected(24, 0.2, rng);
+  const auto dist = ht::cuttree::build_tree_distribution(g, 4);
+  const auto pairs = ht::cuttree::random_set_pairs(24, 30, 4, rng);
+  const auto q = ht::cuttree::distribution_quality(g, dist, pairs);
+  EXPECT_GT(q.pairs, 0u);
+  EXPECT_GE(q.single_best, 1.0 - 1e-9);  // domination per tree
+  // Averaging dominated trees stays dominated.
+  EXPECT_GE(q.average_max, 1.0 - 1e-9);
+}
+
+TEST(TreeDistribution, HypergraphEvaluatorRuns) {
+  ht::Rng rng(2);
+  const auto h = ht::hypergraph::random_uniform(16, 28, 3, rng);
+  const auto star = ht::reduction::star_expansion(h);
+  const auto dist = ht::cuttree::build_tree_distribution(star.graph, 4);
+  const auto pairs = ht::cuttree::random_set_pairs(16, 20, 3, rng);
+  const auto q =
+      ht::cuttree::distribution_quality_hypergraph(h, dist, pairs);
+  EXPECT_GT(q.pairs, 0u);
+  EXPECT_GE(q.average_max, 1.0 - 1e-9);
+  EXPECT_GE(q.single_best, q.average_max - 1e-9);
+}
+
+TEST(TreeDistribution, SingleTreeDistributionMatchesSingleQuality) {
+  ht::Rng rng(3);
+  const auto g = ht::graph::grid(4, 4);
+  const auto dist = ht::cuttree::build_tree_distribution(g, 1);
+  const auto pairs = ht::cuttree::random_set_pairs(16, 20, 3, rng);
+  const auto q = ht::cuttree::distribution_quality(g, dist, pairs);
+  EXPECT_NEAR(q.single_best, q.average_max, 1e-9);
+}
+
+}  // namespace

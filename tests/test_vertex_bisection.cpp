@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/vertex_bisection.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ht::core::exact_vertex_bisection;
+using ht::core::validate_vertex_bisection;
+using ht::core::vertex_bisection_spectral;
+using ht::core::vertex_bisection_via_cut_tree;
+using ht::graph::Graph;
+using ht::graph::VertexId;
+
+TEST(ExactVertexBisection, PathNeedsOneVertex) {
+  // Path on 7: removing the middle vertex leaves 3 + 3.
+  const Graph g = ht::graph::path(7);
+  const auto sol = exact_vertex_bisection(g);
+  ASSERT_TRUE(sol.valid);
+  validate_vertex_bisection(g, sol);
+  EXPECT_DOUBLE_EQ(sol.separator_weight, 1.0);
+  EXPECT_EQ(sol.separator.size(), 1u);
+}
+
+TEST(ExactVertexBisection, EvenPathAlsoOneVertex) {
+  // Path on 8: removing one vertex leaves sides of sizes {i, 7-i}; need
+  // both <= 4 -> remove vertex 3 or 4.
+  const Graph g = ht::graph::path(8);
+  const auto sol = exact_vertex_bisection(g);
+  ASSERT_TRUE(sol.valid);
+  validate_vertex_bisection(g, sol);
+  EXPECT_DOUBLE_EQ(sol.separator_weight, 1.0);
+}
+
+TEST(ExactVertexBisection, TwoEqualComponentsAreFree) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.finalize();
+  const auto sol = exact_vertex_bisection(g);
+  ASSERT_TRUE(sol.valid);
+  EXPECT_DOUBLE_EQ(sol.separator_weight, 0.0);
+  validate_vertex_bisection(g, sol);
+}
+
+TEST(ExactVertexBisection, ThreePairsNeedOneRemoval) {
+  // Components {2,2,2} with side cap 3 cannot be grouped evenly: no
+  // subset sums to 3. One vertex must go — weight 1 is optimal.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  g.finalize();
+  const auto sol = exact_vertex_bisection(g);
+  ASSERT_TRUE(sol.valid);
+  EXPECT_DOUBLE_EQ(sol.separator_weight, 1.0);
+  validate_vertex_bisection(g, sol);
+}
+
+TEST(ExactVertexBisection, WeightsMatter) {
+  // Star: center weight 100, leaves weight 1. Separator must disconnect;
+  // cheaper to remove ~half the leaves than the center? Removing center
+  // (100) gives 6 singleton leaves, split 3/3. Removing leaves never
+  // disconnects the rest (still a star). But removing 3 leaves leaves a
+  // 4-vertex star -> one component of size 4 > 3 = ceil(6... n=7 half=4.
+  // Star with 6 leaves: n=7, half=4. Component after removing j leaves has
+  // size 7-j; need <= 4 -> j >= 3, and the component is ONE side, other
+  // side empty (fine, size 0 <= 4). So removing 3 leaves (weight 3) wins.
+  Graph g = ht::graph::star(6);
+  g.set_vertex_weight(0, 100.0);
+  const auto sol = exact_vertex_bisection(g);
+  ASSERT_TRUE(sol.valid);
+  validate_vertex_bisection(g, sol);
+  EXPECT_DOUBLE_EQ(sol.separator_weight, 3.0);
+}
+
+TEST(ExactVertexBisection, GridKnownSeparator) {
+  // 3x4 grid: a column of 3 separates into 3 + 6... need both <= 6:
+  // removing the second column (3 vertices) leaves 3 and 6.
+  const Graph g = ht::graph::grid(3, 4);
+  const auto sol = exact_vertex_bisection(g);
+  ASSERT_TRUE(sol.valid);
+  validate_vertex_bisection(g, sol);
+  EXPECT_DOUBLE_EQ(sol.separator_weight, 3.0);
+}
+
+TEST(CutTreeVertexBisection, ValidAndBoundedByTreeCut) {
+  ht::Rng rng(1);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = ht::graph::gnp_connected(16, 0.25, rng);
+    ht::core::VertexBisectionOptions options;
+    options.seed = static_cast<std::uint64_t>(trial);
+    const auto sol = vertex_bisection_via_cut_tree(g, options);
+    ASSERT_TRUE(sol.valid);
+    validate_vertex_bisection(g, sol);
+  }
+}
+
+TEST(CutTreeVertexBisection, NearExactOnSmall) {
+  ht::Rng rng(2);
+  double worst = 1.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = ht::graph::gnp_connected(12, 0.3, rng);
+    const auto exact = exact_vertex_bisection(g);
+    ht::core::VertexBisectionOptions options;
+    options.seed = static_cast<std::uint64_t>(trial) + 5;
+    const auto tree_sol = vertex_bisection_via_cut_tree(g, options);
+    validate_vertex_bisection(g, tree_sol);
+    EXPECT_GE(tree_sol.separator_weight, exact.separator_weight - 1e-9);
+    if (exact.separator_weight > 0)
+      worst = std::max(worst,
+                       tree_sol.separator_weight / exact.separator_weight);
+  }
+  // sqrt(12)*polylog ~ 10; measured should be far below.
+  EXPECT_LE(worst, 4.0);
+}
+
+TEST(SpectralVertexBisection, ValidOnGridAndGnp) {
+  ht::Rng rng(3);
+  {
+    const Graph g = ht::graph::grid(4, 4);
+    ht::Rng srng(1);
+    const auto sol = vertex_bisection_spectral(g, srng);
+    validate_vertex_bisection(g, sol);
+    // A 4x4 grid has a 4-vertex column separator; spectral should find
+    // something no worse than ~4.
+    EXPECT_LE(sol.separator_weight, 4.0 + 1e-9);
+  }
+  {
+    const Graph g = ht::graph::gnp_connected(20, 0.2, rng);
+    ht::Rng srng(2);
+    const auto sol = vertex_bisection_spectral(g, srng);
+    validate_vertex_bisection(g, sol);
+  }
+}
+
+TEST(VertexBisection, ValidatorCatchesCrossEdge) {
+  const Graph g = ht::graph::path(4);
+  ht::core::VertexBisectionResult bad;
+  bad.valid = true;
+  bad.side_a = {0, 1};
+  bad.side_b = {2, 3};  // edge (1,2) crosses
+  EXPECT_THROW(validate_vertex_bisection(g, bad), std::logic_error);
+}
+
+TEST(VertexBisection, ValidatorCatchesImbalance) {
+  Graph g(6);
+  g.finalize();
+  ht::core::VertexBisectionResult bad;
+  bad.valid = true;
+  bad.side_a = {0, 1, 2, 3};  // 4 > ceil(6/2)
+  bad.side_b = {4, 5};
+  EXPECT_THROW(validate_vertex_bisection(g, bad), std::logic_error);
+}
+
+TEST(VertexBisection, Figure3InstanceUpperBound) {
+  // On GH the optimum vertex bisection is small (cut the w_i layer or the
+  // u_i layer partially); the cut-tree pipeline must stay within the
+  // Table 1 bound sqrt(W) * polylog.
+  const auto fig = ht::graph::figure3_gh(16);
+  ht::core::VertexBisectionOptions options;
+  const auto sol = vertex_bisection_via_cut_tree(fig.graph, options);
+  validate_vertex_bisection(fig.graph, sol);
+  const double W = fig.graph.total_vertex_weight();
+  EXPECT_LE(sol.separator_weight,
+            std::sqrt(W) * std::pow(std::log2(W), 1.25));
+}
+
+}  // namespace
