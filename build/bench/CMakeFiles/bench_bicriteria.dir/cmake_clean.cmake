@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bicriteria.dir/bench_bicriteria.cpp.o"
+  "CMakeFiles/bench_bicriteria.dir/bench_bicriteria.cpp.o.d"
+  "bench_bicriteria"
+  "bench_bicriteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bicriteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

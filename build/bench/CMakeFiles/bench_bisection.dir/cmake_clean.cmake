@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bisection.dir/bench_bisection.cpp.o"
+  "CMakeFiles/bench_bisection.dir/bench_bisection.cpp.o.d"
+  "bench_bisection"
+  "bench_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

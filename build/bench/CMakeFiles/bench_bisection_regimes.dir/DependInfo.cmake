@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_bisection_regimes.cpp" "bench/CMakeFiles/bench_bisection_regimes.dir/bench_bisection_regimes.cpp.o" "gcc" "bench/CMakeFiles/bench_bisection_regimes.dir/bench_bisection_regimes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hardness/CMakeFiles/ht_hardness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuttree/CMakeFiles/ht_cuttree.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ht_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ht_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ht_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduction/CMakeFiles/ht_reduction.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ht_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/ht_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ht_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bisection_regimes.dir/bench_bisection_regimes.cpp.o"
+  "CMakeFiles/bench_bisection_regimes.dir/bench_bisection_regimes.cpp.o.d"
+  "bench_bisection_regimes"
+  "bench_bisection_regimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bisection_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

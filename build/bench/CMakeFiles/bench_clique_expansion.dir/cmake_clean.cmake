@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clique_expansion.dir/bench_clique_expansion.cpp.o"
+  "CMakeFiles/bench_clique_expansion.dir/bench_clique_expansion.cpp.o.d"
+  "bench_clique_expansion"
+  "bench_clique_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clique_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cut_tree_quality.dir/bench_cut_tree_quality.cpp.o"
+  "CMakeFiles/bench_cut_tree_quality.dir/bench_cut_tree_quality.cpp.o.d"
+  "bench_cut_tree_quality"
+  "bench_cut_tree_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cut_tree_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

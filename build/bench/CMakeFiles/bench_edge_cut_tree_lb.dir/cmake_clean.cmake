@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edge_cut_tree_lb.dir/bench_edge_cut_tree_lb.cpp.o"
+  "CMakeFiles/bench_edge_cut_tree_lb.dir/bench_edge_cut_tree_lb.cpp.o.d"
+  "bench_edge_cut_tree_lb"
+  "bench_edge_cut_tree_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edge_cut_tree_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

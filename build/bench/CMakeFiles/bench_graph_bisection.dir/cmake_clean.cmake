@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_bisection.dir/bench_graph_bisection.cpp.o"
+  "CMakeFiles/bench_graph_bisection.dir/bench_graph_bisection.cpp.o.d"
+  "bench_graph_bisection"
+  "bench_graph_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

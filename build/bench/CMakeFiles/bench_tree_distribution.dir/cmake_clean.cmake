@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_distribution.dir/bench_tree_distribution.cpp.o"
+  "CMakeFiles/bench_tree_distribution.dir/bench_tree_distribution.cpp.o.d"
+  "bench_tree_distribution"
+  "bench_tree_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vertex_bisection.dir/bench_vertex_bisection.cpp.o"
+  "CMakeFiles/bench_vertex_bisection.dir/bench_vertex_bisection.cpp.o.d"
+  "bench_vertex_bisection"
+  "bench_vertex_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vertex_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

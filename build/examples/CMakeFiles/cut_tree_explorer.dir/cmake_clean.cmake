@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cut_tree_explorer.dir/cut_tree_explorer.cpp.o"
+  "CMakeFiles/cut_tree_explorer.dir/cut_tree_explorer.cpp.o.d"
+  "cut_tree_explorer"
+  "cut_tree_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cut_tree_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertree_cli.dir/hypertree_cli.cpp.o"
+  "CMakeFiles/hypertree_cli.dir/hypertree_cli.cpp.o.d"
+  "hypertree_cli"
+  "hypertree_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertree_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_load_balancing.dir/spmv_load_balancing.cpp.o"
+  "CMakeFiles/spmv_load_balancing.dir/spmv_load_balancing.cpp.o.d"
+  "spmv_load_balancing"
+  "spmv_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

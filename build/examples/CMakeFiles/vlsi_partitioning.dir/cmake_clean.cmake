@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsi_partitioning.dir/vlsi_partitioning.cpp.o"
+  "CMakeFiles/vlsi_partitioning.dir/vlsi_partitioning.cpp.o.d"
+  "vlsi_partitioning"
+  "vlsi_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsi_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

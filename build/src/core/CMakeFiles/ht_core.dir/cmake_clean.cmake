@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_core.dir/bicriteria.cpp.o"
+  "CMakeFiles/ht_core.dir/bicriteria.cpp.o.d"
+  "CMakeFiles/ht_core.dir/bisection.cpp.o"
+  "CMakeFiles/ht_core.dir/bisection.cpp.o.d"
+  "CMakeFiles/ht_core.dir/vertex_bisection.cpp.o"
+  "CMakeFiles/ht_core.dir/vertex_bisection.cpp.o.d"
+  "libht_core.a"
+  "libht_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cuttree/decomposition_tree.cpp" "src/cuttree/CMakeFiles/ht_cuttree.dir/decomposition_tree.cpp.o" "gcc" "src/cuttree/CMakeFiles/ht_cuttree.dir/decomposition_tree.cpp.o.d"
+  "/root/repo/src/cuttree/dot.cpp" "src/cuttree/CMakeFiles/ht_cuttree.dir/dot.cpp.o" "gcc" "src/cuttree/CMakeFiles/ht_cuttree.dir/dot.cpp.o.d"
+  "/root/repo/src/cuttree/edge_cut_trees.cpp" "src/cuttree/CMakeFiles/ht_cuttree.dir/edge_cut_trees.cpp.o" "gcc" "src/cuttree/CMakeFiles/ht_cuttree.dir/edge_cut_trees.cpp.o.d"
+  "/root/repo/src/cuttree/quality.cpp" "src/cuttree/CMakeFiles/ht_cuttree.dir/quality.cpp.o" "gcc" "src/cuttree/CMakeFiles/ht_cuttree.dir/quality.cpp.o.d"
+  "/root/repo/src/cuttree/tree.cpp" "src/cuttree/CMakeFiles/ht_cuttree.dir/tree.cpp.o" "gcc" "src/cuttree/CMakeFiles/ht_cuttree.dir/tree.cpp.o.d"
+  "/root/repo/src/cuttree/tree_bisection.cpp" "src/cuttree/CMakeFiles/ht_cuttree.dir/tree_bisection.cpp.o" "gcc" "src/cuttree/CMakeFiles/ht_cuttree.dir/tree_bisection.cpp.o.d"
+  "/root/repo/src/cuttree/tree_distribution.cpp" "src/cuttree/CMakeFiles/ht_cuttree.dir/tree_distribution.cpp.o" "gcc" "src/cuttree/CMakeFiles/ht_cuttree.dir/tree_distribution.cpp.o.d"
+  "/root/repo/src/cuttree/tree_edge_partition.cpp" "src/cuttree/CMakeFiles/ht_cuttree.dir/tree_edge_partition.cpp.o" "gcc" "src/cuttree/CMakeFiles/ht_cuttree.dir/tree_edge_partition.cpp.o.d"
+  "/root/repo/src/cuttree/vertex_cut_tree.cpp" "src/cuttree/CMakeFiles/ht_cuttree.dir/vertex_cut_tree.cpp.o" "gcc" "src/cuttree/CMakeFiles/ht_cuttree.dir/vertex_cut_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ht_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ht_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/ht_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ht_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ht_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduction/CMakeFiles/ht_reduction.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ht_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_cuttree.dir/decomposition_tree.cpp.o"
+  "CMakeFiles/ht_cuttree.dir/decomposition_tree.cpp.o.d"
+  "CMakeFiles/ht_cuttree.dir/dot.cpp.o"
+  "CMakeFiles/ht_cuttree.dir/dot.cpp.o.d"
+  "CMakeFiles/ht_cuttree.dir/edge_cut_trees.cpp.o"
+  "CMakeFiles/ht_cuttree.dir/edge_cut_trees.cpp.o.d"
+  "CMakeFiles/ht_cuttree.dir/quality.cpp.o"
+  "CMakeFiles/ht_cuttree.dir/quality.cpp.o.d"
+  "CMakeFiles/ht_cuttree.dir/tree.cpp.o"
+  "CMakeFiles/ht_cuttree.dir/tree.cpp.o.d"
+  "CMakeFiles/ht_cuttree.dir/tree_bisection.cpp.o"
+  "CMakeFiles/ht_cuttree.dir/tree_bisection.cpp.o.d"
+  "CMakeFiles/ht_cuttree.dir/tree_distribution.cpp.o"
+  "CMakeFiles/ht_cuttree.dir/tree_distribution.cpp.o.d"
+  "CMakeFiles/ht_cuttree.dir/tree_edge_partition.cpp.o"
+  "CMakeFiles/ht_cuttree.dir/tree_edge_partition.cpp.o.d"
+  "CMakeFiles/ht_cuttree.dir/vertex_cut_tree.cpp.o"
+  "CMakeFiles/ht_cuttree.dir/vertex_cut_tree.cpp.o.d"
+  "libht_cuttree.a"
+  "libht_cuttree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_cuttree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

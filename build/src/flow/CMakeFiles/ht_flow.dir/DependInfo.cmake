@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/gomory_hu.cpp" "src/flow/CMakeFiles/ht_flow.dir/gomory_hu.cpp.o" "gcc" "src/flow/CMakeFiles/ht_flow.dir/gomory_hu.cpp.o.d"
+  "/root/repo/src/flow/hypergraph_gomory_hu.cpp" "src/flow/CMakeFiles/ht_flow.dir/hypergraph_gomory_hu.cpp.o" "gcc" "src/flow/CMakeFiles/ht_flow.dir/hypergraph_gomory_hu.cpp.o.d"
+  "/root/repo/src/flow/min_cut.cpp" "src/flow/CMakeFiles/ht_flow.dir/min_cut.cpp.o" "gcc" "src/flow/CMakeFiles/ht_flow.dir/min_cut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ht_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ht_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/ht_hypergraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

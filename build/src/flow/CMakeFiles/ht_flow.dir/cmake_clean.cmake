@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_flow.dir/gomory_hu.cpp.o"
+  "CMakeFiles/ht_flow.dir/gomory_hu.cpp.o.d"
+  "CMakeFiles/ht_flow.dir/hypergraph_gomory_hu.cpp.o"
+  "CMakeFiles/ht_flow.dir/hypergraph_gomory_hu.cpp.o.d"
+  "CMakeFiles/ht_flow.dir/min_cut.cpp.o"
+  "CMakeFiles/ht_flow.dir/min_cut.cpp.o.d"
+  "libht_flow.a"
+  "libht_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_graph.dir/generators.cpp.o"
+  "CMakeFiles/ht_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/ht_graph.dir/graph.cpp.o"
+  "CMakeFiles/ht_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/ht_graph.dir/io.cpp.o"
+  "CMakeFiles/ht_graph.dir/io.cpp.o.d"
+  "libht_graph.a"
+  "libht_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

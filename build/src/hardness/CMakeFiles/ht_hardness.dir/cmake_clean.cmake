@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_hardness.dir/dense_vs_random.cpp.o"
+  "CMakeFiles/ht_hardness.dir/dense_vs_random.cpp.o.d"
+  "CMakeFiles/ht_hardness.dir/dks.cpp.o"
+  "CMakeFiles/ht_hardness.dir/dks.cpp.o.d"
+  "libht_hardness.a"
+  "libht_hardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

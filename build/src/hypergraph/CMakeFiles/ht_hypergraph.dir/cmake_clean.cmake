@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_hypergraph.dir/generators.cpp.o"
+  "CMakeFiles/ht_hypergraph.dir/generators.cpp.o.d"
+  "CMakeFiles/ht_hypergraph.dir/hypergraph.cpp.o"
+  "CMakeFiles/ht_hypergraph.dir/hypergraph.cpp.o.d"
+  "CMakeFiles/ht_hypergraph.dir/io.cpp.o"
+  "CMakeFiles/ht_hypergraph.dir/io.cpp.o.d"
+  "libht_hypergraph.a"
+  "libht_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_lp.dir/fractional_cut.cpp.o"
+  "CMakeFiles/ht_lp.dir/fractional_cut.cpp.o.d"
+  "CMakeFiles/ht_lp.dir/simplex.cpp.o"
+  "CMakeFiles/ht_lp.dir/simplex.cpp.o.d"
+  "CMakeFiles/ht_lp.dir/spectral.cpp.o"
+  "CMakeFiles/ht_lp.dir/spectral.cpp.o.d"
+  "libht_lp.a"
+  "libht_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/exact.cpp" "src/partition/CMakeFiles/ht_partition.dir/exact.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/exact.cpp.o.d"
+  "/root/repo/src/partition/fm.cpp" "src/partition/CMakeFiles/ht_partition.dir/fm.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/fm.cpp.o.d"
+  "/root/repo/src/partition/fm_fast.cpp" "src/partition/CMakeFiles/ht_partition.dir/fm_fast.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/fm_fast.cpp.o.d"
+  "/root/repo/src/partition/graph_bisection.cpp" "src/partition/CMakeFiles/ht_partition.dir/graph_bisection.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/graph_bisection.cpp.o.d"
+  "/root/repo/src/partition/kway.cpp" "src/partition/CMakeFiles/ht_partition.dir/kway.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/kway.cpp.o.d"
+  "/root/repo/src/partition/min_ratio_cut.cpp" "src/partition/CMakeFiles/ht_partition.dir/min_ratio_cut.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/min_ratio_cut.cpp.o.d"
+  "/root/repo/src/partition/mku.cpp" "src/partition/CMakeFiles/ht_partition.dir/mku.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/mku.cpp.o.d"
+  "/root/repo/src/partition/multilevel.cpp" "src/partition/CMakeFiles/ht_partition.dir/multilevel.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/multilevel.cpp.o.d"
+  "/root/repo/src/partition/sparsest_cut.cpp" "src/partition/CMakeFiles/ht_partition.dir/sparsest_cut.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/sparsest_cut.cpp.o.d"
+  "/root/repo/src/partition/unbalanced_kcut.cpp" "src/partition/CMakeFiles/ht_partition.dir/unbalanced_kcut.cpp.o" "gcc" "src/partition/CMakeFiles/ht_partition.dir/unbalanced_kcut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ht_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ht_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/ht_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ht_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ht_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduction/CMakeFiles/ht_reduction.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuttree/CMakeFiles/ht_cuttree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_partition.dir/exact.cpp.o"
+  "CMakeFiles/ht_partition.dir/exact.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/fm.cpp.o"
+  "CMakeFiles/ht_partition.dir/fm.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/fm_fast.cpp.o"
+  "CMakeFiles/ht_partition.dir/fm_fast.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/graph_bisection.cpp.o"
+  "CMakeFiles/ht_partition.dir/graph_bisection.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/kway.cpp.o"
+  "CMakeFiles/ht_partition.dir/kway.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/min_ratio_cut.cpp.o"
+  "CMakeFiles/ht_partition.dir/min_ratio_cut.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/mku.cpp.o"
+  "CMakeFiles/ht_partition.dir/mku.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/ht_partition.dir/multilevel.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/sparsest_cut.cpp.o"
+  "CMakeFiles/ht_partition.dir/sparsest_cut.cpp.o.d"
+  "CMakeFiles/ht_partition.dir/unbalanced_kcut.cpp.o"
+  "CMakeFiles/ht_partition.dir/unbalanced_kcut.cpp.o.d"
+  "libht_partition.a"
+  "libht_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

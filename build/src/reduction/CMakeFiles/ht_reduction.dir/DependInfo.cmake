@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reduction/clique_expansion.cpp" "src/reduction/CMakeFiles/ht_reduction.dir/clique_expansion.cpp.o" "gcc" "src/reduction/CMakeFiles/ht_reduction.dir/clique_expansion.cpp.o.d"
+  "/root/repo/src/reduction/dks_mku.cpp" "src/reduction/CMakeFiles/ht_reduction.dir/dks_mku.cpp.o" "gcc" "src/reduction/CMakeFiles/ht_reduction.dir/dks_mku.cpp.o.d"
+  "/root/repo/src/reduction/mku_bisection.cpp" "src/reduction/CMakeFiles/ht_reduction.dir/mku_bisection.cpp.o" "gcc" "src/reduction/CMakeFiles/ht_reduction.dir/mku_bisection.cpp.o.d"
+  "/root/repo/src/reduction/star_expansion.cpp" "src/reduction/CMakeFiles/ht_reduction.dir/star_expansion.cpp.o" "gcc" "src/reduction/CMakeFiles/ht_reduction.dir/star_expansion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ht_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ht_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/ht_hypergraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_reduction.dir/clique_expansion.cpp.o"
+  "CMakeFiles/ht_reduction.dir/clique_expansion.cpp.o.d"
+  "CMakeFiles/ht_reduction.dir/dks_mku.cpp.o"
+  "CMakeFiles/ht_reduction.dir/dks_mku.cpp.o.d"
+  "CMakeFiles/ht_reduction.dir/mku_bisection.cpp.o"
+  "CMakeFiles/ht_reduction.dir/mku_bisection.cpp.o.d"
+  "CMakeFiles/ht_reduction.dir/star_expansion.cpp.o"
+  "CMakeFiles/ht_reduction.dir/star_expansion.cpp.o.d"
+  "libht_reduction.a"
+  "libht_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_util.dir/stats.cpp.o"
+  "CMakeFiles/ht_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ht_util.dir/table.cpp.o"
+  "CMakeFiles/ht_util.dir/table.cpp.o.d"
+  "CMakeFiles/ht_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ht_util.dir/thread_pool.cpp.o.d"
+  "libht_util.a"
+  "libht_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

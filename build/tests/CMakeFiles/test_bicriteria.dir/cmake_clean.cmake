@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bicriteria.dir/test_bicriteria.cpp.o"
+  "CMakeFiles/test_bicriteria.dir/test_bicriteria.cpp.o.d"
+  "test_bicriteria"
+  "test_bicriteria.pdb"
+  "test_bicriteria[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bicriteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuttree.dir/test_cuttree.cpp.o"
+  "CMakeFiles/test_cuttree.dir/test_cuttree.cpp.o.d"
+  "test_cuttree"
+  "test_cuttree.pdb"
+  "test_cuttree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuttree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fm_fast.dir/test_fm_fast.cpp.o"
+  "CMakeFiles/test_fm_fast.dir/test_fm_fast.cpp.o.d"
+  "test_fm_fast"
+  "test_fm_fast.pdb"
+  "test_fm_fast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fm_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardness.dir/test_hardness.cpp.o"
+  "CMakeFiles/test_hardness.dir/test_hardness.cpp.o.d"
+  "test_hardness"
+  "test_hardness.pdb"
+  "test_hardness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_push_relabel.dir/test_push_relabel.cpp.o"
+  "CMakeFiles/test_push_relabel.dir/test_push_relabel.cpp.o.d"
+  "test_push_relabel"
+  "test_push_relabel.pdb"
+  "test_push_relabel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_push_relabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

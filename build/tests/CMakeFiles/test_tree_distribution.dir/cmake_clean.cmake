@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_distribution.dir/test_tree_distribution.cpp.o"
+  "CMakeFiles/test_tree_distribution.dir/test_tree_distribution.cpp.o.d"
+  "test_tree_distribution"
+  "test_tree_distribution.pdb"
+  "test_tree_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vertex_bisection.dir/test_vertex_bisection.cpp.o"
+  "CMakeFiles/test_vertex_bisection.dir/test_vertex_bisection.cpp.o.d"
+  "test_vertex_bisection"
+  "test_vertex_bisection.pdb"
+  "test_vertex_bisection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vertex_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

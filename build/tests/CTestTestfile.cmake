@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_hypergraph[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_lp[1]_include.cmake")
+include("/root/repo/build/tests/test_reduction[1]_include.cmake")
+include("/root/repo/build/tests/test_cuttree[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_hardness[1]_include.cmake")
+include("/root/repo/build/tests/test_vertex_bisection[1]_include.cmake")
+include("/root/repo/build/tests/test_kway[1]_include.cmake")
+include("/root/repo/build/tests/test_tree_distribution[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_decomposition[1]_include.cmake")
+include("/root/repo/build/tests/test_multilevel[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_bicriteria[1]_include.cmake")
+include("/root/repo/build/tests/test_push_relabel[1]_include.cmake")
+include("/root/repo/build/tests/test_fm_fast[1]_include.cmake")
+include("/root/repo/build/tests/test_dot[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
