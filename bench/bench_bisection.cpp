@@ -15,6 +15,7 @@
 #include "core/bisection.hpp"
 #include "hypergraph/generators.hpp"
 #include "partition/exact.hpp"
+#include "util/perf_counters.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -128,11 +129,50 @@ void planted_recovery() {
   ht::bench::print_table(table);
 }
 
+void engine_counters() {
+  // What the parallel engine actually did on the largest planted
+  // instance, plus a 1-thread / N-thread agreement check on its output.
+  ht::bench::print_header(
+      "PAR-engine: theorem-1 work profile and thread-count invariance",
+      "same bisection at every thread count; counters show the work done");
+  ht::Rng rng(900 + 64);
+  const auto h = ht::hypergraph::planted_bisection(64, 3, 4 * 64,
+                                                   std::max(2, 64 / 8), rng);
+  ht::Table table({"threads", "time(s)", "cut", "pieces", "max-flow calls"});
+  std::string first_side;
+  bool identical = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
+    ht::ThreadPool::reset_global(threads);
+    ht::PerfCounters::global().reset();
+    ht::Timer timer;
+    const auto report = ht::core::bisect_theorem1(h);
+    const double elapsed = timer.seconds();
+    auto& pc = ht::PerfCounters::global();
+    std::string side(report.solution.side.size(), '0');
+    for (std::size_t i = 0; i < side.size(); ++i)
+      if (report.solution.side[i]) side[i] = '1';
+    if (first_side.empty())
+      first_side = side;
+    else
+      identical = identical && side == first_side;
+    table.add(static_cast<std::int64_t>(ht::ThreadPool::global().size()),
+              elapsed, report.solution.cut,
+              static_cast<std::int64_t>(pc.pieces()),
+              static_cast<std::int64_t>(pc.max_flow_calls()));
+  }
+  ht::bench::print_table(table);
+  std::cout << "identical bisection across thread counts: "
+            << (identical ? "yes" : "NO") << "\n"
+            << ht::PerfCounters::global().report();
+  ht::ThreadPool::reset_global();
+}
+
 }  // namespace
 
 int main() {
   ratio_to_exact();
   ratio_distribution();
   planted_recovery();
+  engine_counters();
   return 0;
 }

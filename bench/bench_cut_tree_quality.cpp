@@ -13,11 +13,15 @@
 
 #include "bench_common.hpp"
 #include "cuttree/quality.hpp"
+#include "cuttree/tree.hpp"
 #include "cuttree/vertex_cut_tree.hpp"
 #include "graph/generators.hpp"
 #include "hypergraph/generators.hpp"
 #include "reduction/star_expansion.hpp"
+#include "util/perf_counters.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -131,11 +135,54 @@ void hypergraph_rows() {
   ht::bench::print_shape("hypergraph", xs, ys, "<= 0.5 in n*davg (+polylog)");
 }
 
+void parallel_scaling_rows() {
+  // Parallel decomposition engine: build + quality-evaluate the largest
+  // unweighted instance (gnp n=288) with a 1-thread pool and with the
+  // configured pool, and check the determinism contract (byte-identical
+  // trees) along the way. On a multi-core machine the speedup column
+  // should approach the core count; on 1 core it hovers around 1.0.
+  ht::bench::print_header(
+      "PAR-scaling: decomposition engine, 1 thread vs configured pool",
+      "byte-identical trees at every thread count; wall time scales down");
+  constexpr std::int32_t n = 288;
+  auto run = [] {
+    ht::Rng rng(1000 + static_cast<std::uint64_t>(n));
+    const auto g = ht::graph::gnp_connected(n, 4.0 / n, rng);
+    const auto built = ht::cuttree::build_vertex_cut_tree(g);
+    auto pairs = evaluation_pairs(n, rng);
+    const auto q = ht::cuttree::vertex_cut_tree_quality(g, built.tree, pairs);
+    return std::make_pair(ht::cuttree::tree_signature(built.tree),
+                          q.max_ratio);
+  };
+
+  ht::Table table({"threads", "build+quality (s)", "speedup", "quality(max)"});
+  ht::PerfCounters::global().reset();
+  ht::ThreadPool::reset_global(1);
+  ht::Timer t1;
+  const auto serial = run();
+  const double serial_s = t1.seconds();
+  table.add(1, serial_s, 1.0, serial.second);
+
+  ht::PerfCounters::global().reset();
+  ht::ThreadPool::reset_global();  // HT_THREADS env or hardware concurrency
+  const auto threads = ht::ThreadPool::global().size();
+  ht::Timer tn;
+  const auto parallel = run();
+  const double parallel_s = tn.seconds();
+  table.add(static_cast<std::int64_t>(threads), parallel_s,
+            serial_s / parallel_s, parallel.second);
+  ht::bench::print_table(table);
+  std::cout << "deterministic across thread counts: "
+            << (serial.first == parallel.first ? "yes" : "NO") << "\n"
+            << ht::PerfCounters::global().report();
+}
+
 }  // namespace
 
 int main() {
   unweighted_rows();
   weighted_rows();
   hypergraph_rows();
+  parallel_scaling_rows();
   return 0;
 }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 #include "cuttree/tree_bisection.hpp"
 #include "cuttree/vertex_cut_tree.hpp"
@@ -11,6 +10,8 @@
 #include "partition/unbalanced_kcut.hpp"
 #include "reduction/clique_expansion.hpp"
 #include "reduction/star_expansion.hpp"
+#include "util/perf_counters.hpp"
+#include "util/wavefront.hpp"
 
 namespace ht::core {
 
@@ -28,23 +29,29 @@ struct Phase1Result {
 };
 
 /// Phase 1 of Theorem 1: recursively peel sparsest cuts while a cut of
-/// sparsity below `threshold` exists.
+/// sparsity below `threshold` exists. Pieces peel in parallel over the
+/// pool; each piece's oracle stream derives from (seed, piece index), so
+/// every thread count yields the same peeling.
 Phase1Result phase1_peel(const Hypergraph& h, double threshold,
-                         ht::Rng& rng) {
+                         std::uint64_t seed) {
+  struct PieceOutcome {
+    bool is_final = false;
+    double cut = 0.0;
+    std::vector<VertexId> small, large;
+  };
   Phase1Result out;
-  std::deque<std::vector<VertexId>> queue;
-  {
-    std::vector<VertexId> all(static_cast<std::size_t>(h.num_vertices()));
-    for (VertexId v = 0; v < h.num_vertices(); ++v)
-      all[static_cast<std::size_t>(v)] = v;
-    queue.push_back(std::move(all));
-  }
-  while (!queue.empty()) {
-    std::vector<VertexId> piece = std::move(queue.front());
-    queue.pop_front();
+  ht::PhaseTimer phase("theorem1.phase1_peel");
+  std::vector<std::vector<VertexId>> roots(1);
+  roots[0].resize(static_cast<std::size_t>(h.num_vertices()));
+  for (VertexId v = 0; v < h.num_vertices(); ++v)
+    roots[0][static_cast<std::size_t>(v)] = v;
+
+  const auto map = [&](const std::vector<VertexId>& piece,
+                       ht::Rng& rng) -> PieceOutcome {
+    PieceOutcome result;
     if (piece.size() < 2) {
-      out.pieces.push_back(std::move(piece));
-      continue;
+      result.is_final = true;
+      return result;
     }
     const auto sub = ht::hypergraph::induced_subhypergraph(h, piece);
     ht::partition::SparsestCutResult sc;
@@ -54,20 +61,31 @@ Phase1Result phase1_peel(const Hypergraph& h, double threshold,
       sc = ht::partition::sparsest_hyperedge_cut(sub.hypergraph, rng);
     }
     if (!sc.valid || sc.sparsity >= threshold) {
-      out.pieces.push_back(std::move(piece));
-      continue;
+      result.is_final = true;
+      return result;
     }
-    out.cut_weight += sc.cut;
+    result.cut = sc.cut;
     std::vector<bool> in_small(piece.size(), false);
     for (VertexId local : sc.smaller_side)
       in_small[static_cast<std::size_t>(local)] = true;
-    std::vector<VertexId> small, large;
     for (std::size_t local = 0; local < piece.size(); ++local) {
-      (in_small[local] ? small : large).push_back(sub.old_of_new[local]);
+      (in_small[local] ? result.small : result.large)
+          .push_back(sub.old_of_new[local]);
     }
-    queue.push_back(std::move(small));
-    queue.push_back(std::move(large));
-  }
+    return result;
+  };
+  const auto fold = [&](std::vector<VertexId>&& piece, PieceOutcome&& result,
+                        const auto& emit) {
+    if (result.is_final) {
+      out.pieces.push_back(std::move(piece));
+      return;
+    }
+    out.cut_weight += result.cut;
+    emit(std::move(result.small));
+    emit(std::move(result.large));
+  };
+  ht::parallel_wavefront<std::vector<VertexId>, PieceOutcome>(
+      std::move(roots), seed, map, fold);
   return out;
 }
 
@@ -309,7 +327,6 @@ BisectionReport bisect_theorem1(const Hypergraph& h,
   HT_CHECK(h.finalized());
   const VertexId n = h.num_vertices();
   HT_CHECK(n >= 2 && n % 2 == 0);
-  ht::Rng rng(options.seed);
 
   const double nd = static_cast<double>(n);
   double alpha = options.alpha;
@@ -340,29 +357,50 @@ BisectionReport bisect_theorem1(const Hypergraph& h,
     guesses.push_back(min_w * std::pow(total_w / min_w, t));
   }
 
-  BisectionReport best;
-  best.algorithm = "theorem1";
-  for (double guess : guesses) {
+  // Evaluate every OPT guess concurrently; each guess's randomness derives
+  // from (options.seed, guess index) and the nested phase-1/profile
+  // parallelism derives from per-piece indices, so the schedule never
+  // affects the output. The pool's stealing waits make the nesting safe.
+  struct GuessOutcome {
+    BisectionReport report;
+    bool feasible = false;
+  };
+  std::vector<GuessOutcome> outcomes(guesses.size());
+  ht::parallel_for(guesses.size(), [&](std::size_t gi) {
+    const double guess = guesses[static_cast<std::size_t>(gi)];
     const double threshold = alpha * guess / k;
-    ht::Rng guess_rng = rng.split();
-    Phase1Result p1 = phase1_peel(h, threshold, guess_rng);
-    std::vector<PieceProfile> profiles;
-    profiles.reserve(p1.pieces.size());
-    for (auto& piece : p1.pieces)
-      profiles.push_back(
-          build_piece_profile(h, std::move(piece), k_cap, guess_rng));
+    const std::uint64_t peel_seed = ht::derive_seed(options.seed, 2 * gi);
+    const std::uint64_t profile_seed =
+        ht::derive_seed(options.seed, 2 * gi + 1);
+    Phase1Result p1 = phase1_peel(h, threshold, peel_seed);
+    std::vector<PieceProfile> profiles(p1.pieces.size());
+    {
+      ht::PhaseTimer phase("theorem1.piece_profiles");
+      ht::parallel_for(p1.pieces.size(), [&](std::size_t pi) {
+        ht::Rng piece_rng = ht::derive_stream(profile_seed, pi);
+        profiles[pi] = build_piece_profile(h, std::move(p1.pieces[pi]),
+                                           k_cap, piece_rng);
+      });
+    }
+    ht::PhaseTimer phase("theorem1.phase2_dp");
     double dp_estimate = 0.0;
     std::vector<bool> side = phase2_dp(h, profiles, &dp_estimate);
-    if (side.empty()) continue;  // infeasible under this guess's peeling
+    if (side.empty()) return;  // infeasible under this guess's peeling
     BisectionReport candidate =
         finish(h, std::move(side), "theorem1", options.fm_polish);
     candidate.opt_guess = guess;
     candidate.phase1_pieces = static_cast<std::int32_t>(profiles.size());
     candidate.phase1_cut = p1.cut_weight;
     candidate.dp_estimate = dp_estimate;
+    outcomes[gi] = GuessOutcome{std::move(candidate), true};
+  });
+  BisectionReport best;
+  best.algorithm = "theorem1";
+  for (auto& outcome : outcomes) {
+    if (!outcome.feasible) continue;
     if (!best.solution.valid ||
-        candidate.solution.cut < best.solution.cut) {
-      best = std::move(candidate);
+        outcome.report.solution.cut < best.solution.cut) {
+      best = std::move(outcome.report);
     }
   }
   HT_CHECK_MSG(best.solution.valid,
@@ -448,8 +486,7 @@ Phase1Diagnostics phase1_diagnostics(const Hypergraph& h, double opt,
   if (alpha <= 0.0) alpha = std::sqrt(std::max(1.0, std::log2(nd + 1.0)));
   if (k <= 0.0) k = std::max(1.0, std::sqrt(alpha * nd));
   const double threshold = alpha * std::max(opt, 1e-9) / k;
-  ht::Rng rng(seed);
-  const Phase1Result p1 = phase1_peel(h, threshold, rng);
+  const Phase1Result p1 = phase1_peel(h, threshold, seed);
 
   Phase1Diagnostics out;
   out.pieces = static_cast<std::int32_t>(p1.pieces.size());

@@ -1,9 +1,13 @@
 #include "cuttree/decomposition_tree.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
 
 #include "hypergraph/hypergraph.hpp"
 #include "partition/sparsest_cut.hpp"
+#include "util/perf_counters.hpp"
+#include "util/wavefront.hpp"
 
 namespace ht::cuttree {
 
@@ -11,83 +15,43 @@ using ht::graph::Graph;
 
 namespace {
 
-/// Recursively emits the cluster below `parent_node` for `vertices`.
-void decompose(const Graph& g, const std::vector<VertexId>& vertices,
-               NodeId parent_node, Tree& tree,
-               const DecompositionOptions& options, ht::Rng& rng) {
-  if (static_cast<std::int32_t>(vertices.size()) <=
-      std::max(options.leaf_cluster_size, 1)) {
-    for (VertexId v : vertices) {
-      std::vector<bool> single(static_cast<std::size_t>(g.num_vertices()),
-                               false);
-      single[static_cast<std::size_t>(v)] = true;
-      const NodeId leaf =
-          tree.add_node(parent_node, 1.0, g.cut_weight(single));
-      tree.set_vertex_node(v, leaf);
-    }
-    return;
-  }
-  if (vertices.size() == 1) {
-    std::vector<bool> single(static_cast<std::size_t>(g.num_vertices()),
-                             false);
-    single[static_cast<std::size_t>(vertices[0])] = true;
-    const NodeId leaf = tree.add_node(parent_node, 1.0, g.cut_weight(single));
-    tree.set_vertex_node(vertices[0], leaf);
-    return;
-  }
+/// One child slot of a cluster: either a single-vertex leaf or a nested
+/// cluster (index into the cluster record table).
+struct ChildEntry {
+  bool is_leaf = false;
+  VertexId vertex = -1;        // leaf only
+  std::int32_t cluster = -1;   // cluster only
+  double cut = 0.0;            // delta_G of the child (leaf or cluster)
+};
 
-  // Split the cluster with the sparsest cut of its induced subgraph
-  // (wrapped 2-uniform so the hypergraph oracle applies).
-  const auto sub = ht::graph::induced_subgraph(g, vertices);
-  ht::hypergraph::Hypergraph wrapper(sub.graph.num_vertices());
-  for (const auto& e : sub.graph.edges())
-    wrapper.add_edge({e.u, e.v}, e.weight);
-  wrapper.finalize();
+struct ClusterRec {
+  std::vector<VertexId> vertices;
+  std::vector<ChildEntry> children;  // filled by fold, in split order
+};
 
-  std::vector<std::vector<VertexId>> parts;
-  if (wrapper.num_edges() == 0) {
-    // Disconnected dust: every vertex its own part.
-    for (VertexId v : vertices) parts.push_back({v});
-  } else {
-    ht::partition::SparsestCutResult cut;
-    if (static_cast<std::int32_t>(vertices.size()) <= options.exact_limit) {
-      cut = ht::partition::sparsest_hyperedge_cut_exact(wrapper);
-    } else {
-      cut = ht::partition::sparsest_hyperedge_cut(wrapper, rng);
-    }
-    if (!cut.valid) {
-      // No split available (complete-graph-like): make all vertices leaves.
-      for (VertexId v : vertices) parts.push_back({v});
-    } else {
-      std::vector<bool> in_small(vertices.size(), false);
-      for (VertexId local : cut.smaller_side)
-        in_small[static_cast<std::size_t>(local)] = true;
-      std::vector<VertexId> small, large;
-      for (std::size_t i = 0; i < vertices.size(); ++i)
-        (in_small[i] ? small : large)
-            .push_back(sub.old_of_new[i]);
-      parts.push_back(std::move(small));
-      parts.push_back(std::move(large));
-    }
-  }
+/// Parallel-computable outcome of splitting one cluster.
+struct SplitOutcome {
+  struct Part {
+    std::vector<VertexId> vertices;
+    double cut = 0.0;
+  };
+  // True when the whole cluster bottoms out into single-vertex leaves
+  // (small cluster, edgeless cluster, or no valid cut).
+  bool expand_leaves = false;
+  std::vector<double> leaf_cuts;  // parallel to the cluster's vertices
+  std::vector<Part> parts;        // otherwise: the sparsest-cut split
+};
 
-  for (auto& part : parts) {
-    if (part.empty()) continue;
-    if (part.size() == 1) {
-      std::vector<bool> single(static_cast<std::size_t>(g.num_vertices()),
-                               false);
-      single[static_cast<std::size_t>(part[0])] = true;
-      const NodeId leaf =
-          tree.add_node(parent_node, 1.0, g.cut_weight(single));
-      tree.set_vertex_node(part[0], leaf);
-      continue;
-    }
-    std::vector<bool> side(static_cast<std::size_t>(g.num_vertices()), false);
-    for (VertexId v : part) side[static_cast<std::size_t>(v)] = true;
-    const NodeId cluster = tree.add_node(
-        parent_node, kInfiniteNodeWeight, g.cut_weight(side));
-    decompose(g, part, cluster, tree, options, rng);
-  }
+double singleton_cut(const Graph& g, VertexId v) {
+  std::vector<bool> single(static_cast<std::size_t>(g.num_vertices()), false);
+  single[static_cast<std::size_t>(v)] = true;
+  return g.cut_weight(single);
+}
+
+double set_cut(const Graph& g, const std::vector<VertexId>& part) {
+  std::vector<bool> side(static_cast<std::size_t>(g.num_vertices()), false);
+  for (VertexId v : part) side[static_cast<std::size_t>(v)] = true;
+  return g.cut_weight(side);
 }
 
 }  // namespace
@@ -97,13 +61,134 @@ Tree build_decomposition_tree(const Graph& g,
   HT_CHECK(g.finalized());
   const VertexId n = g.num_vertices();
   HT_CHECK(n >= 1);
+  ht::PhaseTimer phase("decomposition_tree.build");
+
+  // Stage 1 — parallel: grow the laminar cluster family over the pool.
+  // Splits (spectral sweep + cut evaluations) run concurrently per
+  // cluster; each cluster's RNG stream derives from its wavefront index,
+  // so the family is identical for every thread count.
+  std::vector<ClusterRec> recs(1);
+  recs[0].vertices.resize(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v)
+    recs[0].vertices[static_cast<std::size_t>(v)] = v;
+
+  const auto map = [&](const std::int32_t& rec_index,
+                       ht::Rng& rng) -> SplitOutcome {
+    // Safe concurrent read: fold only appends records between waves.
+    const std::vector<VertexId>& vertices =
+        recs[static_cast<std::size_t>(rec_index)].vertices;
+    SplitOutcome result;
+    if (static_cast<std::int32_t>(vertices.size()) <=
+        std::max(options.leaf_cluster_size, 1)) {
+      result.expand_leaves = true;
+      result.leaf_cuts.reserve(vertices.size());
+      for (VertexId v : vertices)
+        result.leaf_cuts.push_back(singleton_cut(g, v));
+      return result;
+    }
+
+    // Split the cluster with the sparsest cut of its induced subgraph
+    // (wrapped 2-uniform so the hypergraph oracle applies).
+    const auto sub = ht::graph::induced_subgraph(g, vertices);
+    ht::hypergraph::Hypergraph wrapper(sub.graph.num_vertices());
+    for (const auto& e : sub.graph.edges())
+      wrapper.add_edge({e.u, e.v}, e.weight);
+    wrapper.finalize();
+
+    std::vector<std::vector<VertexId>> parts;
+    if (wrapper.num_edges() == 0) {
+      // Disconnected dust: every vertex its own part.
+      for (VertexId v : vertices) parts.push_back({v});
+    } else {
+      ht::partition::SparsestCutResult cut;
+      if (static_cast<std::int32_t>(vertices.size()) <=
+          options.exact_limit) {
+        cut = ht::partition::sparsest_hyperedge_cut_exact(wrapper);
+      } else {
+        cut = ht::partition::sparsest_hyperedge_cut(wrapper, rng);
+      }
+      if (!cut.valid) {
+        // No split available (complete-graph-like): all vertices leaves.
+        for (VertexId v : vertices) parts.push_back({v});
+      } else {
+        std::vector<bool> in_small(vertices.size(), false);
+        for (VertexId local : cut.smaller_side)
+          in_small[static_cast<std::size_t>(local)] = true;
+        std::vector<VertexId> small, large;
+        for (std::size_t i = 0; i < vertices.size(); ++i)
+          (in_small[i] ? small : large).push_back(sub.old_of_new[i]);
+        parts.push_back(std::move(small));
+        parts.push_back(std::move(large));
+      }
+    }
+    for (auto& part : parts) {
+      if (part.empty()) continue;
+      SplitOutcome::Part out_part;
+      out_part.cut =
+          part.size() == 1 ? singleton_cut(g, part[0]) : set_cut(g, part);
+      out_part.vertices = std::move(part);
+      result.parts.push_back(std::move(out_part));
+    }
+    return result;
+  };
+  const auto fold = [&](std::int32_t&& rec_index, SplitOutcome&& result,
+                        const auto& emit) {
+    // Build the child list locally: appending child records below may
+    // reallocate `recs`, so no reference into it can be held across the
+    // loop.
+    std::vector<ChildEntry> children;
+    if (result.expand_leaves) {
+      const auto& vertices =
+          recs[static_cast<std::size_t>(rec_index)].vertices;
+      for (std::size_t i = 0; i < vertices.size(); ++i) {
+        ChildEntry leaf;
+        leaf.is_leaf = true;
+        leaf.vertex = vertices[i];
+        leaf.cut = result.leaf_cuts[i];
+        children.push_back(leaf);
+      }
+    } else {
+      for (auto& part : result.parts) {
+        ChildEntry entry;
+        entry.cut = part.cut;
+        if (part.vertices.size() == 1) {
+          entry.is_leaf = true;
+          entry.vertex = part.vertices[0];
+        } else {
+          entry.cluster = static_cast<std::int32_t>(recs.size());
+          ClusterRec child;
+          child.vertices = std::move(part.vertices);
+          recs.push_back(std::move(child));
+          emit(std::int32_t(entry.cluster));
+        }
+        children.push_back(entry);
+      }
+    }
+    recs[static_cast<std::size_t>(rec_index)].children = std::move(children);
+  };
+  ht::parallel_wavefront<std::int32_t, SplitOutcome>({0}, options.seed, map,
+                                                     fold);
+
+  // Stage 2 — serial: emit the Tree in DFS preorder over the cluster
+  // family, matching the recursive construction's node numbering.
   Tree tree;
   tree.reserve_vertices(n);
   const NodeId root = tree.add_node(-1, kInfiniteNodeWeight);
-  std::vector<VertexId> all(static_cast<std::size_t>(n));
-  for (VertexId v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
-  ht::Rng rng(options.seed);
-  decompose(g, all, root, tree, options, rng);
+  const std::function<void(std::int32_t, NodeId)> assemble =
+      [&](std::int32_t rec_index, NodeId node) {
+        for (const ChildEntry& child :
+             recs[static_cast<std::size_t>(rec_index)].children) {
+          if (child.is_leaf) {
+            const NodeId leaf = tree.add_node(node, 1.0, child.cut);
+            tree.set_vertex_node(child.vertex, leaf);
+          } else {
+            const NodeId cluster =
+                tree.add_node(node, kInfiniteNodeWeight, child.cut);
+            assemble(child.cluster, cluster);
+          }
+        }
+      };
+  assemble(0, root);
   tree.validate();
   return tree;
 }

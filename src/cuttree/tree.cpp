@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "flow/min_cut.hpp"
 #include "util/check.hpp"
@@ -158,6 +162,36 @@ double tree_edge_cut_dp(const Tree& t, const std::vector<VertexId>& a,
   }
   const auto& r = dp[static_cast<std::size_t>(t.root())];
   return std::min(std::min(r[0], r[1]), r[2]);
+}
+
+std::string tree_signature(const Tree& t) {
+  // Doubles are rendered as raw bit patterns: equal signatures mean
+  // bit-identical trees, not merely trees that print alike.
+  const auto bits = [](double x) {
+    std::uint64_t b;
+    static_assert(sizeof(b) == sizeof(x));
+    std::memcpy(&b, &x, sizeof(b));
+    return b;
+  };
+  std::string out;
+  char buf[64];
+  const NodeId n = t.num_nodes();
+  std::snprintf(buf, sizeof(buf), "nodes=%d;", n);
+  out += buf;
+  for (NodeId v = 0; v < n; ++v) {
+    std::snprintf(buf, sizeof(buf), "%d:%d:%" PRIx64 ":%" PRIx64 ";", v,
+                  t.parent(v), bits(t.node_weight(v)),
+                  bits(t.edge_weight(v)));
+    out += buf;
+  }
+  const VertexId vertices = t.num_embedded_vertices();
+  std::snprintf(buf, sizeof(buf), "vertices=%d;", vertices);
+  out += buf;
+  for (VertexId v = 0; v < vertices; ++v) {
+    std::snprintf(buf, sizeof(buf), "%d->%d;", v, t.node_of_vertex(v));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace ht::cuttree

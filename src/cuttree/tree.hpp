@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -95,5 +96,12 @@ double tree_vertex_cut_dp(const Tree& t, const std::vector<VertexId>& a,
 /// delta_T(A, B): minimum parent-edge-weight cut separating A from B.
 double tree_edge_cut_dp(const Tree& t, const std::vector<VertexId>& a,
                         const std::vector<VertexId>& b);
+
+/// Canonical byte-exact serialization of the full tree state (structure,
+/// weights with full precision, vertex embedding). Two trees built by
+/// deterministic code paths are interchangeable iff their signatures are
+/// equal — the determinism tests compare 1-thread and N-thread builds
+/// through this.
+std::string tree_signature(const Tree& t);
 
 }  // namespace ht::cuttree

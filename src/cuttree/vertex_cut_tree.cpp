@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 #include "partition/min_ratio_cut.hpp"
+#include "util/perf_counters.hpp"
+#include "util/wavefront.hpp"
 
 namespace ht::cuttree {
 
 using ht::graph::Graph;
+
+namespace {
+
+/// Outcome of processing one piece: either the piece survives (no cut
+/// below threshold) or it is split by a separator into components.
+struct PieceOutcome {
+  bool is_final = false;
+  std::vector<VertexId> separator;                // original ids
+  std::vector<std::vector<VertexId>> children;    // original ids
+};
+
+}  // namespace
 
 VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
                                           const VertexCutTreeOptions& options) {
@@ -30,24 +43,25 @@ VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
 
   VertexCutTreeResult out;
   out.threshold = threshold;
-  ht::Rng rng(options.seed);
+  ht::PhaseTimer phase("vertex_cut_tree.peel");
 
-  // Work queue of pieces (vertex lists in original ids).
-  std::deque<std::vector<VertexId>> queue;
-  {
-    std::vector<VertexId> all(static_cast<std::size_t>(n));
-    for (VertexId v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
-    queue.push_back(std::move(all));
-  }
+  // Independent-piece peeling over the pool. Each piece's oracle draws
+  // from a stream derived from the piece index, so any thread count
+  // produces the same tree.
+  std::vector<std::vector<VertexId>> roots(1);
+  roots[0].resize(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v)
+    roots[0][static_cast<std::size_t>(v)] = v;
+
   std::vector<std::vector<VertexId>> final_pieces;
   std::vector<VertexId> separator;
 
-  while (!queue.empty()) {
-    std::vector<VertexId> piece = std::move(queue.front());
-    queue.pop_front();
+  const auto map = [&](const std::vector<VertexId>& piece,
+                       ht::Rng& rng) -> PieceOutcome {
+    PieceOutcome result;
     if (piece.size() <= 1) {
-      final_pieces.push_back(std::move(piece));
-      continue;
+      result.is_final = true;
+      return result;
     }
     const auto sub = ht::graph::induced_subgraph(g, piece);
     ht::partition::VertexSeparator sep;
@@ -58,27 +72,42 @@ VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
       sep = ht::partition::min_ratio_vertex_cut(sub.graph, rng);
     }
     if (!sep.valid || sep.sparsity >= threshold) {
-      final_pieces.push_back(std::move(piece));
-      continue;
+      result.is_final = true;
+      return result;
     }
     for (VertexId local : sep.x)
-      separator.push_back(sub.old_of_new[static_cast<std::size_t>(local)]);
+      result.separator.push_back(
+          sub.old_of_new[static_cast<std::size_t>(local)]);
     // Recurse on the connected components of piece \ X. (A and B are
     // unions of components by construction, but splitting to actual
     // components peels faster and never hurts domination.)
     std::vector<bool> removed(piece.size(), false);
-    for (VertexId local : sep.x) removed[static_cast<std::size_t>(local)] = true;
+    for (VertexId local : sep.x)
+      removed[static_cast<std::size_t>(local)] = true;
     auto [comp, count] =
         ht::graph::connected_components_excluding(sub.graph, removed);
-    std::vector<std::vector<VertexId>> parts(static_cast<std::size_t>(count));
+    result.children.resize(static_cast<std::size_t>(count));
     for (std::size_t local = 0; local < piece.size(); ++local) {
       const auto c = comp[local];
       if (c >= 0)
-        parts[static_cast<std::size_t>(c)].push_back(sub.old_of_new[local]);
+        result.children[static_cast<std::size_t>(c)].push_back(
+            sub.old_of_new[local]);
     }
-    for (auto& part : parts)
-      if (!part.empty()) queue.push_back(std::move(part));
-  }
+    return result;
+  };
+  const auto fold = [&](std::vector<VertexId>&& piece, PieceOutcome&& result,
+                        const auto& emit) {
+    if (result.is_final) {
+      final_pieces.push_back(std::move(piece));
+      return;
+    }
+    separator.insert(separator.end(), result.separator.begin(),
+                     result.separator.end());
+    for (auto& child : result.children)
+      if (!child.empty()) emit(std::move(child));
+  };
+  ht::parallel_wavefront<std::vector<VertexId>, PieceOutcome>(
+      std::move(roots), options.seed, map, fold);
 
   // Assemble the Figure 1 tree.
   double separator_weight = 0.0;

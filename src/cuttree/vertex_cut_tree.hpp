@@ -45,7 +45,10 @@ struct VertexCutTreeResult {
 };
 
 /// Builds the Section 3.1 vertex cut tree for a finalized graph. Works on
-/// disconnected graphs too (components become separate pieces).
+/// disconnected graphs too (components become separate pieces). Pieces are
+/// peeled in parallel over the global thread pool; each piece's oracle RNG
+/// stream is derived from (seed, piece index), so the result is
+/// byte-identical for every thread count.
 VertexCutTreeResult build_vertex_cut_tree(
     const ht::graph::Graph& g, const VertexCutTreeOptions& options = {});
 

@@ -4,6 +4,8 @@
 
 #include "flow/dinic.hpp"
 #include "flow/min_cut.hpp"
+#include "util/perf_counters.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ht::flow {
 
@@ -50,33 +52,61 @@ GomoryHuTree gomory_hu(const Graph& g) {
   HT_CHECK(g.finalized());
   const VertexId n = g.num_vertices();
   HT_CHECK(n >= 2);
+  ht::PhaseTimer phase("gomory_hu.graph");
   GomoryHuTree tree;
   tree.root = 0;
   tree.parent.assign(static_cast<std::size_t>(n), 0);
   tree.parent[0] = -1;
   tree.parent_cut.assign(static_cast<std::size_t>(n), 0.0);
 
-  for (VertexId i = 1; i < n; ++i) {
-    const VertexId j = tree.parent[static_cast<std::size_t>(i)];
-    const EdgeCutResult cut = min_edge_cut(g, {i}, {j});
-    tree.parent_cut[static_cast<std::size_t>(i)] = cut.value;
-    // Gusfield re-hang: every later vertex currently hanging off j that
-    // fell on i's side of this cut is re-parented to i.
-    for (VertexId k = i + 1; k < n; ++k) {
-      if (tree.parent[static_cast<std::size_t>(k)] == j &&
-          cut.source_side[static_cast<std::size_t>(k)]) {
-        tree.parent[static_cast<std::size_t>(k)] = i;
-      }
+  // Batched speculation: the (i, parent[i]) max-flow subproblems of a
+  // batch are independent given a parent snapshot, so they run over the
+  // pool; a cut is applied only when i's parent is unchanged at apply
+  // time, otherwise it is recomputed against the live parent. The applied
+  // sequence is therefore exactly the serial Gusfield run — identical for
+  // every thread count and batch size.
+  const auto batch_size = static_cast<VertexId>(
+      std::max<std::size_t>(1, ThreadPool::global().size()));
+  for (VertexId lo = 1; lo < n; lo += batch_size) {
+    const VertexId hi = std::min<VertexId>(n, lo + batch_size);
+    const auto count = static_cast<std::size_t>(hi - lo);
+    std::vector<VertexId> snapshot(count);
+    for (std::size_t t = 0; t < count; ++t)
+      snapshot[t] =
+          tree.parent[static_cast<std::size_t>(lo) + t];
+    std::vector<EdgeCutResult> speculative(count);
+    if (count > 1) {
+      parallel_for(count, [&](std::size_t t) {
+        speculative[t] = min_edge_cut(
+            g, {lo + static_cast<VertexId>(t)}, {snapshot[t]});
+      });
     }
-    // Classic Gusfield fix-up: if j's parent is on i's side, splice i
-    // between j and its parent.
-    const VertexId pj = tree.parent[static_cast<std::size_t>(j)];
-    if (pj != -1 && cut.source_side[static_cast<std::size_t>(pj)]) {
-      tree.parent[static_cast<std::size_t>(i)] = pj;
-      tree.parent_cut[static_cast<std::size_t>(i)] =
-          tree.parent_cut[static_cast<std::size_t>(j)];
-      tree.parent[static_cast<std::size_t>(j)] = i;
-      tree.parent_cut[static_cast<std::size_t>(j)] = cut.value;
+    for (VertexId i = lo; i < hi; ++i) {
+      const VertexId j = tree.parent[static_cast<std::size_t>(i)];
+      const std::size_t t = static_cast<std::size_t>(i - lo);
+      const EdgeCutResult cut =
+          (count > 1 && snapshot[t] == j)
+              ? std::move(speculative[t])
+              : min_edge_cut(g, {i}, {j});
+      tree.parent_cut[static_cast<std::size_t>(i)] = cut.value;
+      // Gusfield re-hang: every later vertex currently hanging off j that
+      // fell on i's side of this cut is re-parented to i.
+      for (VertexId k = i + 1; k < n; ++k) {
+        if (tree.parent[static_cast<std::size_t>(k)] == j &&
+            cut.source_side[static_cast<std::size_t>(k)]) {
+          tree.parent[static_cast<std::size_t>(k)] = i;
+        }
+      }
+      // Classic Gusfield fix-up: if j's parent is on i's side, splice i
+      // between j and its parent.
+      const VertexId pj = tree.parent[static_cast<std::size_t>(j)];
+      if (pj != -1 && cut.source_side[static_cast<std::size_t>(pj)]) {
+        tree.parent[static_cast<std::size_t>(i)] = pj;
+        tree.parent_cut[static_cast<std::size_t>(i)] =
+            tree.parent_cut[static_cast<std::size_t>(j)];
+        tree.parent[static_cast<std::size_t>(j)] = i;
+        tree.parent_cut[static_cast<std::size_t>(j)] = cut.value;
+      }
     }
   }
   return tree;

@@ -4,6 +4,8 @@
 
 #include "flow/dinic.hpp"
 #include "flow/min_cut.hpp"
+#include "util/perf_counters.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ht::flow {
 
@@ -37,15 +39,43 @@ HypergraphGomoryHuTree hypergraph_gomory_hu(const Hypergraph& h) {
   HT_CHECK(h.finalized());
   const VertexId n = h.num_vertices();
   HT_CHECK(n >= 2);
+  ht::PhaseTimer phase("gomory_hu.hypergraph");
   HypergraphGomoryHuTree tree;
   tree.root = 0;
   tree.parent.assign(static_cast<std::size_t>(n), 0);
   tree.parent[0] = -1;
   tree.parent_cut.assign(static_cast<std::size_t>(n), 0.0);
 
+  // Batched speculation over the pool (see gomory_hu.cpp): flows for a
+  // parent snapshot run concurrently; stale ones are recomputed serially,
+  // so the applied sequence is exactly the serial Gusfield run.
+  const auto batch_size = static_cast<VertexId>(
+      std::max<std::size_t>(1, ThreadPool::global().size()));
+  VertexId batch_lo = 1;
+  std::vector<VertexId> snapshot;
+  std::vector<HyperedgeCutResult> speculative;
   for (VertexId i = 1; i < n; ++i) {
+    if (i >= batch_lo + batch_size || i == 1) {
+      batch_lo = i;
+      const VertexId batch_hi = std::min<VertexId>(n, batch_lo + batch_size);
+      const auto count = static_cast<std::size_t>(batch_hi - batch_lo);
+      snapshot.resize(count);
+      for (std::size_t t = 0; t < count; ++t)
+        snapshot[t] = tree.parent[static_cast<std::size_t>(batch_lo) + t];
+      speculative.assign(count, HyperedgeCutResult{});
+      if (count > 1) {
+        parallel_for(count, [&](std::size_t t) {
+          speculative[t] = min_hyperedge_cut(
+              h, {batch_lo + static_cast<VertexId>(t)}, {snapshot[t]});
+        });
+      }
+    }
     const VertexId j = tree.parent[static_cast<std::size_t>(i)];
-    const HyperedgeCutResult cut = min_hyperedge_cut(h, {i}, {j});
+    const std::size_t t = static_cast<std::size_t>(i - batch_lo);
+    const HyperedgeCutResult cut =
+        (snapshot.size() > 1 && snapshot[t] == j)
+            ? std::move(speculative[t])
+            : min_hyperedge_cut(h, {i}, {j});
     tree.parent_cut[static_cast<std::size_t>(i)] = cut.value;
     // Source side of the canonical minimum cut: vertices still reachable
     // from i after removing the cut hyperedges.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "flow/dinic.hpp"
+#include "util/perf_counters.hpp"
 
 namespace ht::flow {
 
@@ -34,6 +35,7 @@ void check_disjoint_nonempty(const std::vector<VertexId>& a,
 EdgeCutResult min_edge_cut(const Graph& g, const std::vector<VertexId>& a,
                            const std::vector<VertexId>& b) {
   HT_CHECK(g.finalized());
+  PerfCounters::global().add_max_flow_call();
   check_disjoint_nonempty(a, b, g.num_vertices());
   const NodeId n = g.num_vertices();
   Dinic<double> dinic(n + 2);
@@ -69,6 +71,7 @@ EdgeCutResult min_edge_cut(const Graph& g, const std::vector<VertexId>& a,
 VertexCutResult min_vertex_cut(const Graph& g, const std::vector<VertexId>& a,
                                const std::vector<VertexId>& b) {
   HT_CHECK(g.finalized());
+  PerfCounters::global().add_max_flow_call();
   check_disjoint_nonempty(a, b, g.num_vertices());
   const VertexId n = g.num_vertices();
   // Node splitting: v_in = 2v, v_out = 2v+1.
@@ -105,6 +108,7 @@ HyperedgeCutResult min_hyperedge_cut(
     const Hypergraph& h, const std::vector<ht::hypergraph::VertexId>& a,
     const std::vector<ht::hypergraph::VertexId>& b) {
   HT_CHECK(h.finalized());
+  PerfCounters::global().add_max_flow_call();
   check_disjoint_nonempty(a, b, h.num_vertices());
   const auto n = h.num_vertices();
   const auto m = h.num_edges();

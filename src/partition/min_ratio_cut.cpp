@@ -6,6 +6,7 @@
 #include "flow/min_cut.hpp"
 #include "lp/spectral.hpp"
 #include "util/subsets.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ht::partition {
 
@@ -192,21 +193,31 @@ VertexSeparator min_ratio_vertex_cut(const Graph& g, ht::Rng& rng) {
 
   // Cheap proxy per sweep position: separator = boundary of the lighter
   // prefix (the cheaper of "A-boundary inside B" / "B-boundary inside A").
+  // Positions are independent given the sweep order, so they evaluate in
+  // parallel into index-addressed slots; the tie-broken sort keeps the
+  // candidate ranking schedule-independent.
   struct SweepCandidate {
     VertexId position;
     double proxy;
   };
-  std::vector<SweepCandidate> candidates;
-  std::vector<std::int8_t> in_prefix(static_cast<std::size_t>(n), 0);
-  for (VertexId i = 1; i < n; ++i) {
-    in_prefix[static_cast<std::size_t>(order[static_cast<std::size_t>(i - 1)])] =
-        1;
+  std::vector<VertexId> pos_in_order(static_cast<std::size_t>(n));
+  for (VertexId i = 0; i < n; ++i)
+    pos_in_order[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        i;
+  std::vector<double> prefix_weight(static_cast<std::size_t>(n) + 1, 0.0);
+  for (VertexId i = 0; i < n; ++i)
+    prefix_weight[static_cast<std::size_t>(i) + 1] =
+        prefix_weight[static_cast<std::size_t>(i)] +
+        g.vertex_weight(order[static_cast<std::size_t>(i)]);
+  std::vector<SweepCandidate> candidates(static_cast<std::size_t>(n) - 1);
+  ht::parallel_for(candidates.size(), [&](std::size_t slot) {
+    const auto i = static_cast<VertexId>(slot) + 1;
     double boundary_in_b = 0.0, boundary_in_a = 0.0;
     std::vector<bool> counted_b(static_cast<std::size_t>(n), false);
     std::vector<bool> counted_a(static_cast<std::size_t>(n), false);
     for (const auto& e : g.edges()) {
-      const bool pu = in_prefix[static_cast<std::size_t>(e.u)];
-      const bool pv = in_prefix[static_cast<std::size_t>(e.v)];
+      const bool pu = pos_in_order[static_cast<std::size_t>(e.u)] < i;
+      const bool pv = pos_in_order[static_cast<std::size_t>(e.v)] < i;
       if (pu == pv) continue;
       const VertexId b_side = pu ? e.v : e.u;
       const VertexId a_side = pu ? e.u : e.v;
@@ -219,24 +230,26 @@ VertexSeparator min_ratio_vertex_cut(const Graph& g, ht::Rng& rng) {
         boundary_in_a += g.vertex_weight(a_side);
       }
     }
-    double prefix_weight = 0.0;
-    for (VertexId j = 0; j < i; ++j)
-      prefix_weight += g.vertex_weight(order[static_cast<std::size_t>(j)]);
     const double total = g.total_vertex_weight();
-    const double small_side = std::min(prefix_weight, total - prefix_weight);
+    const double small_side =
+        std::min(prefix_weight[static_cast<std::size_t>(i)],
+                 total - prefix_weight[static_cast<std::size_t>(i)]);
     const double wx = std::min(boundary_in_a, boundary_in_b);
     const double denom = small_side + wx;
-    candidates.push_back(
-        {i, denom > 0.0 ? wx / denom : 1e100});
-  }
+    candidates[slot] = {i, denom > 0.0 ? wx / denom : 1e100};
+  });
   std::sort(candidates.begin(), candidates.end(),
             [](const SweepCandidate& l, const SweepCandidate& r) {
-              return l.proxy < r.proxy;
+              if (l.proxy != r.proxy) return l.proxy < r.proxy;
+              return l.position < r.position;
             });
 
-  // Exact vertex-cut flow on the most promising sweep positions.
+  // Exact vertex-cut flow on the most promising sweep positions — each
+  // flow is independent; the winner is reduced serially in candidate
+  // order, so the pick never depends on the schedule.
   const std::size_t flows = std::min<std::size_t>(candidates.size(), 8);
-  for (std::size_t c = 0; c < flows; ++c) {
+  std::vector<VertexSeparator> evaluated(flows);
+  ht::parallel_for(flows, [&](std::size_t c) {
     const VertexId i = candidates[c].position;
     std::vector<VertexId> a(order.begin(), order.begin() + i);
     std::vector<VertexId> b(order.begin() + i, order.end());
@@ -245,11 +258,15 @@ VertexSeparator min_ratio_vertex_cut(const Graph& g, ht::Rng& rng) {
     for (VertexId v : cut.cut_vertices)
       removed[static_cast<std::size_t>(v)] = true;
     VertexSeparator cand;
-    if (!group_components(g, removed, cand)) continue;
+    if (!group_components(g, removed, cand)) return;
     absorb_redundant(g, cand);
     cand.sparsity = raw_sparsity(g, cand);
     cand.valid = true;
-    if (!best.valid || cand.sparsity < best.sparsity) best = cand;
+    evaluated[c] = std::move(cand);
+  });
+  for (auto& cand : evaluated) {
+    if (!cand.valid) continue;
+    if (!best.valid || cand.sparsity < best.sparsity) best = std::move(cand);
   }
 
   // Fallback for graphs where every sweep cut was degenerate (e.g. cliques):

@@ -1,0 +1,58 @@
+#include "util/perf_counters.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ht {
+
+PerfCounters& PerfCounters::global() {
+  static PerfCounters counters;
+  return counters;
+}
+
+void PerfCounters::note_queue_depth(std::size_t depth) {
+  std::uint64_t current = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > current &&
+         !max_queue_depth_.compare_exchange_weak(
+             current, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void PerfCounters::add_phase_time(const std::string& phase, double seconds) {
+  std::scoped_lock lock(phase_mutex_);
+  for (auto& [name, total] : phases_) {
+    if (name == phase) {
+      total += seconds;
+      return;
+    }
+  }
+  phases_.emplace_back(phase, seconds);
+}
+
+std::vector<std::pair<std::string, double>> PerfCounters::phase_times()
+    const {
+  std::scoped_lock lock(phase_mutex_);
+  return phases_;
+}
+
+void PerfCounters::reset() {
+  pieces_.store(0, std::memory_order_relaxed);
+  max_flow_calls_.store(0, std::memory_order_relaxed);
+  tasks_.store(0, std::memory_order_relaxed);
+  max_queue_depth_.store(0, std::memory_order_relaxed);
+  std::scoped_lock lock(phase_mutex_);
+  phases_.clear();
+}
+
+std::string PerfCounters::report() const {
+  std::ostringstream os;
+  os << "perf: pieces=" << pieces() << " max_flow_calls=" << max_flow_calls()
+     << " pool_tasks=" << tasks() << " max_queue_depth=" << max_queue_depth()
+     << "\n";
+  for (const auto& [name, seconds] : phase_times()) {
+    os << "perf: phase " << name << " = " << seconds << " s (aggregate)\n";
+  }
+  return os.str();
+}
+
+}  // namespace ht

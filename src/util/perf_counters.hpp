@@ -1,0 +1,94 @@
+// Process-wide performance counters for the parallel decomposition engine.
+//
+// The engines (wavefront peeling, Gomory–Hu batching, the flow oracles)
+// and the thread pool feed a small set of atomic counters; benches reset
+// them around a measured section and print report(). Counters are
+// intentionally lossy about attribution (they are process-wide, not
+// per-call) — they exist to make "what did this run actually do" visible,
+// not to replace a profiler.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ht {
+
+class PerfCounters {
+ public:
+  static PerfCounters& global();
+
+  /// Work items (pieces/clusters/subproblems) processed by the engines.
+  void add_pieces(std::uint64_t count) {
+    pieces_.fetch_add(count, std::memory_order_relaxed);
+  }
+  /// Max-flow invocations (min_edge_cut / min_vertex_cut /
+  /// min_hyperedge_cut), including speculative ones that were discarded.
+  void add_max_flow_call() {
+    max_flow_calls_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Tasks executed by the thread pool (workers and stealing waiters).
+  void add_task() { tasks_.fetch_add(1, std::memory_order_relaxed); }
+  /// Records an observed pool queue depth; keeps the maximum.
+  void note_queue_depth(std::size_t depth);
+
+  /// Accumulates wall time under a phase name (see PhaseTimer). Parallel
+  /// sections add per-thread elapsed time, so a phase can exceed the
+  /// process wall clock — read it as aggregate time spent in the phase.
+  void add_phase_time(const std::string& phase, double seconds);
+
+  std::uint64_t pieces() const {
+    return pieces_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_flow_calls() const {
+    return max_flow_calls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasks() const {
+    return tasks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_queue_depth() const {
+    return max_queue_depth_.load(std::memory_order_relaxed);
+  }
+  std::vector<std::pair<std::string, double>> phase_times() const;
+
+  void reset();
+
+  /// Multi-line human-readable summary (benches print this after a run).
+  std::string report() const;
+
+ private:
+  std::atomic<std::uint64_t> pieces_{0};
+  std::atomic<std::uint64_t> max_flow_calls_{0};
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
+  mutable std::mutex phase_mutex_;
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+/// RAII phase timer: adds the scope's wall time to
+/// PerfCounters::global() under `phase`.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string phase)
+      : phase_(std::move(phase)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    PerfCounters::global().add_phase_time(phase_, seconds);
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ht

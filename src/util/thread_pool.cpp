@@ -1,17 +1,24 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 #include "util/check.hpp"
+#include "util/perf_counters.hpp"
 
 namespace ht {
 
+namespace {
+
+std::mutex g_global_pool_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
+  if (threads == 0) threads = configured_threads();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -31,14 +38,50 @@ void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::unique_lock lock(mutex_);
     HT_CHECK(!stopping_);
-    tasks_.push(std::move(task));
+    tasks_.push_back(std::move(task));
+    PerfCounters::global().note_queue_depth(tasks_.size());
   }
   task_available_.notify_one();
+  progress_.notify_all();
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::unique_lock lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop_front();
+    ++in_flight_;
+  }
+  run_task(task);
+  return true;
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::unique_lock lock(mutex_);
+    if (!pending_error_) pending_error_ = std::current_exception();
+  }
+  PerfCounters::global().add_task();
+  {
+    std::unique_lock lock(mutex_);
+    --in_flight_;
+    if (tasks_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+  progress_.notify_all();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  if (pending_error_) {
+    std::exception_ptr err = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -50,21 +93,38 @@ void ThreadPool::worker_loop() {
                            [this] { return stopping_ || !tasks_.empty(); });
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
-      tasks_.pop();
+      tasks_.pop_front();
       ++in_flight_;
     }
-    task();
-    {
-      std::unique_lock lock(mutex_);
-      --in_flight_;
-      if (tasks_.empty() && in_flight_ == 0) idle_.notify_all();
-    }
+    run_task(task);
   }
 }
 
+std::size_t ThreadPool::configured_threads() {
+  if (const char* env = std::getenv("HT_THREADS")) {
+    // strtoul accepts a leading '-' (wrapping to a huge value), so screen
+    // it out; cap the result so a typo can't ask for millions of threads.
+    constexpr unsigned long kMaxThreads = 1024;
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (env[0] != '-' && end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<std::size_t>(std::min(parsed, kMaxThreads));
+    }
+  }
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  std::scoped_lock lock(g_global_pool_mutex);
+  if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>();
+  return *g_global_pool;
+}
+
+void ThreadPool::reset_global(std::size_t threads) {
+  std::scoped_lock lock(g_global_pool_mutex);
+  g_global_pool.reset();  // joins the old workers
+  g_global_pool = std::make_unique<ThreadPool>(threads);
 }
 
 void parallel_for(std::size_t n,
@@ -77,37 +137,41 @@ void parallel_for(std::size_t n,
   }
   // Static chunking: cell -> chunk mapping is independent of thread count,
   // and each cell seeds its own RNG from its index, so output is
-  // deterministic.
+  // deterministic. Shared state lives on the heap because the enqueued
+  // claimants can outlive this frame's fast path (help_until may return as
+  // soon as all chunks are claimed and finished by others).
+  struct State {
+    std::function<void(std::size_t)> body;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+  };
+  auto state = std::make_shared<State>();
+  state->body = body;
   const std::size_t chunks = std::min(n, pool.size() * 4);
-  std::atomic<std::size_t> next_chunk{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::atomic<std::size_t> done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-
   for (std::size_t c = 0; c < chunks; ++c) {
-    pool.enqueue([&, chunks, n] {
+    pool.enqueue([state, chunks, n] {
       for (;;) {
-        const std::size_t chunk = next_chunk.fetch_add(1);
+        const std::size_t chunk = state->next_chunk.fetch_add(1);
         if (chunk >= chunks) break;
         const std::size_t lo = chunk * n / chunks;
         const std::size_t hi = (chunk + 1) * n / chunks;
         try {
-          for (std::size_t i = lo; i < hi; ++i) body(i);
+          for (std::size_t i = lo; i < hi; ++i) state->body(i);
         } catch (...) {
-          std::scoped_lock lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          std::scoped_lock lock(state->error_mutex);
+          if (!state->first_error)
+            state->first_error = std::current_exception();
         }
+        state->done.fetch_add(1);
       }
-      std::scoped_lock lock(done_mutex);
-      ++done;
-      done_cv.notify_all();
     });
   }
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return done == chunks; });
-  if (first_error) std::rethrow_exception(first_error);
+  // The calling thread participates: it steals queued tasks (its own
+  // chunk claimants or unrelated work) until every chunk has finished.
+  pool.help_until([&] { return state->done.load() == chunks; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace ht

@@ -1,0 +1,75 @@
+// Deterministic parallel wavefront engine for recursive decompositions.
+//
+// The paper's constructions share one shape: a FIFO queue of independent
+// pieces where processing a piece either finalizes it or splits it into
+// child pieces (vertex cut tree peeling, Theorem 1 phase-1 sparsest-cut
+// peeling, decomposition-tree clustering). parallel_wavefront runs that
+// queue in BFS waves over the global thread pool.
+//
+// Determinism contract: every item is assigned a global index in enqueue
+// (FIFO) order, and its RNG stream is derived from (seed, index) alone —
+// never from the executing thread or the thread count. The expensive map()
+// step runs concurrently; the fold() step runs serially in item order and
+// is the only place allowed to touch shared output state or emit children.
+// 1-thread and N-thread runs therefore produce byte-identical results.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/perf_counters.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ht {
+
+/// Seed for work item `index` of a run seeded with `seed`; depends only on
+/// (seed, index).
+inline std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  return splitmix64(state);
+}
+
+/// Independent RNG stream for work item `index` of a run seeded with
+/// `seed`.
+inline Rng derive_stream(std::uint64_t seed, std::uint64_t index) {
+  return Rng(derive_seed(seed, index));
+}
+
+/// Processes `roots` and all items emitted by fold() until the queue
+/// drains.
+///
+///   map(const Item&, Rng&) -> Result      concurrent, pure per item
+///   fold(Item&&, Result&&, emit)          serial, in item-index order;
+///                                         emit(Item&&) enqueues a child
+///
+/// Result must be default-constructible and movable.
+template <typename Item, typename Result, typename Map, typename Fold>
+void parallel_wavefront(std::vector<Item> roots, std::uint64_t seed,
+                        Map&& map, Fold&& fold) {
+  std::vector<Item> wave = std::move(roots);
+  std::vector<Item> next;
+  std::uint64_t next_index = 0;
+  const auto emit = [&next](Item&& child) {
+    next.push_back(std::move(child));
+  };
+  while (!wave.empty()) {
+    const std::size_t count = wave.size();
+    const std::uint64_t base = next_index;
+    next_index += count;
+    std::vector<Result> results(count);
+    parallel_for(count, [&](std::size_t i) {
+      Rng rng = derive_stream(seed, base + i);
+      results[i] = map(static_cast<const Item&>(wave[i]), rng);
+    });
+    PerfCounters::global().add_pieces(count);
+    next.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      fold(std::move(wave[i]), std::move(results[i]), emit);
+    }
+    std::swap(wave, next);
+  }
+}
+
+}  // namespace ht

@@ -12,6 +12,7 @@
 #include "hypergraph/generators.hpp"
 #include "util/rng.hpp"
 #include "util/subsets.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -203,6 +204,27 @@ TEST(VertexCutTree, DisconnectedGraphSeparatesForFree) {
   const double tree_cut =
       ht::cuttree::tree_vertex_cut_flow(result.tree, {0}, {2});
   EXPECT_DOUBLE_EQ(tree_cut, 0.0);
+}
+
+TEST(VertexCutTree, DeterministicAcrossThreadCounts) {
+  // The determinism contract: piece RNG streams derive from
+  // (seed, piece index), never from scheduling, so a 1-thread build and a
+  // 4-thread build of the same instance are byte-identical.
+  ht::Rng rng(20260805);
+  const auto g = ht::graph::gnp_connected(96, 4.0 / 96, rng);
+  auto build = [&g] { return ht::cuttree::build_vertex_cut_tree(g); };
+
+  ht::ThreadPool::reset_global(1);
+  const auto serial = build();
+  ht::ThreadPool::reset_global(4);
+  const auto parallel = build();
+  ht::ThreadPool::reset_global();
+
+  EXPECT_EQ(ht::cuttree::tree_signature(serial.tree),
+            ht::cuttree::tree_signature(parallel.tree));
+  EXPECT_EQ(serial.separator_vertices, parallel.separator_vertices);
+  EXPECT_EQ(serial.num_pieces, parallel.num_pieces);
+  EXPECT_DOUBLE_EQ(serial.separator_weight, parallel.separator_weight);
 }
 
 // ---------- Corollary 3 DP ----------

@@ -1,0 +1,82 @@
+// Thread-count invariance of the parallel decomposition engine.
+//
+// Every parallel code path derives its randomness from (seed, work-item
+// index) and applies results in serial item order, so running with 1
+// thread and with 4 threads must produce byte-identical outputs. These
+// tests pin that contract for each routed subsystem; CI additionally runs
+// them under HT_THREADS=1 and HT_THREADS=4.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bisection.hpp"
+#include "cuttree/decomposition_tree.hpp"
+#include "cuttree/tree.hpp"
+#include "flow/gomory_hu.hpp"
+#include "flow/hypergraph_gomory_hu.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+// Runs `build` under a 1-thread pool and a 4-thread pool and returns both
+// results; restores the configured default pool afterwards.
+template <typename Build>
+auto one_vs_four(Build&& build) {
+  ht::ThreadPool::reset_global(1);
+  auto serial = build();
+  ht::ThreadPool::reset_global(4);
+  auto parallel = build();
+  ht::ThreadPool::reset_global();
+  return std::make_pair(std::move(serial), std::move(parallel));
+}
+
+TEST(Determinism, DecompositionTreeAcrossThreadCounts) {
+  ht::Rng rng(4242);
+  const auto g = ht::graph::gnp_connected(80, 5.0 / 80, rng);
+  auto [serial, parallel] = one_vs_four(
+      [&g] { return ht::cuttree::build_decomposition_tree(g); });
+  EXPECT_EQ(ht::cuttree::tree_signature(serial),
+            ht::cuttree::tree_signature(parallel));
+}
+
+TEST(Determinism, Theorem1BisectionAcrossThreadCounts) {
+  ht::Rng rng(777);
+  const auto h = ht::hypergraph::random_uniform(40, 80, 3, rng);
+  auto [serial, parallel] =
+      one_vs_four([&h] { return ht::core::bisect_theorem1(h); });
+  EXPECT_EQ(serial.solution.side, parallel.solution.side);
+  EXPECT_DOUBLE_EQ(serial.solution.cut, parallel.solution.cut);
+  EXPECT_DOUBLE_EQ(serial.opt_guess, parallel.opt_guess);
+  EXPECT_EQ(serial.phase1_pieces, parallel.phase1_pieces);
+  EXPECT_DOUBLE_EQ(serial.phase1_cut, parallel.phase1_cut);
+  EXPECT_DOUBLE_EQ(serial.dp_estimate, parallel.dp_estimate);
+}
+
+TEST(Determinism, GomoryHuAcrossThreadCounts) {
+  // The batched speculative build must reproduce the serial Gusfield
+  // sequence exactly: stale speculations are recomputed, so the tree is
+  // independent of batch size and thread count.
+  ht::Rng rng(1313);
+  const auto g = ht::graph::gnp_connected(60, 6.0 / 60, rng);
+  auto [serial, parallel] =
+      one_vs_four([&g] { return ht::flow::gomory_hu(g); });
+  EXPECT_EQ(serial.parent, parallel.parent);
+  EXPECT_EQ(serial.parent_cut, parallel.parent_cut);
+}
+
+TEST(Determinism, HypergraphGomoryHuAcrossThreadCounts) {
+  ht::Rng rng(99);
+  const auto h = ht::hypergraph::random_uniform(36, 70, 3, rng);
+  auto [serial, parallel] =
+      one_vs_four([&h] { return ht::flow::hypergraph_gomory_hu(h); });
+  EXPECT_EQ(serial.parent, parallel.parent);
+  EXPECT_EQ(serial.parent_cut, parallel.parent_cut);
+}
+
+}  // namespace

@@ -3,16 +3,19 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/perf_counters.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/subsets.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/wavefront.hpp"
 
 namespace {
 
@@ -230,6 +233,146 @@ TEST(ThreadPool, DeterministicAggregation) {
     expected[i] = rng.next_double();
   }
   EXPECT_EQ(out, expected);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureValue) {
+  auto fut = ht::ThreadPool::global().submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  auto fut = ht::ThreadPool::global().submit(
+      []() -> int { throw std::runtime_error("submit boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForFromPoolWorkers) {
+  // The outer iterations run on pool workers; each spawns an inner
+  // parallel_for. With blocking waits this deadlocks on a small pool —
+  // the stealing wait (help_until) makes it safe.
+  std::atomic<int> total{0};
+  ht::parallel_for(8, [&](std::size_t) {
+    ht::parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, EnqueueExceptionRethrownAtWaitIdle) {
+  auto& pool = ht::ThreadPool::global();
+  pool.enqueue([] { throw std::runtime_error("enqueue boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error must not leak into the next cycle.
+  pool.enqueue([] {});
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, WaitIdleUnderConcurrentProducers) {
+  // Producer tasks themselves enqueue more work (nested submission);
+  // wait_idle must only return once the transitive closure is drained.
+  auto& pool = ht::ThreadPool::global();
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 32;
+  std::atomic<int> total{0};
+  for (int p = 0; p < kProducers; ++p) {
+    pool.enqueue([&pool, &total] {
+      for (int i = 0; i < kPerProducer; ++i)
+        pool.enqueue([&total] { total.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPool, TryRunOneEmptyQueue) {
+  auto& pool = ht::ThreadPool::global();
+  pool.wait_idle();
+  EXPECT_FALSE(pool.try_run_one());
+}
+
+TEST(ThreadPool, ConfiguredThreadsParsesEnv) {
+  ::setenv("HT_THREADS", "3", 1);
+  EXPECT_EQ(ht::ThreadPool::configured_threads(), 3u);
+  ::setenv("HT_THREADS", "0", 1);
+  EXPECT_GE(ht::ThreadPool::configured_threads(), 1u);
+  ::setenv("HT_THREADS", "junk", 1);
+  EXPECT_GE(ht::ThreadPool::configured_threads(), 1u);
+  ::unsetenv("HT_THREADS");
+}
+
+TEST(ThreadPool, ResetGlobalChangesSize) {
+  ht::ThreadPool::reset_global(2);
+  EXPECT_EQ(ht::ThreadPool::global().size(), 2u);
+  ht::ThreadPool::reset_global();  // back to the configured default
+  EXPECT_GE(ht::ThreadPool::global().size(), 1u);
+}
+
+TEST(Wavefront, DeriveSeedIsStableAndSpreads) {
+  const std::uint64_t a = ht::derive_seed(12345, 0);
+  EXPECT_EQ(a, ht::derive_seed(12345, 0));
+  EXPECT_NE(a, ht::derive_seed(12345, 1));
+  EXPECT_NE(a, ht::derive_seed(12346, 0));
+}
+
+TEST(Wavefront, ProcessesItemsInFifoOrderWithEmission) {
+  // Each item i < 4 emits two children; fold order must match the serial
+  // FIFO queue: 0,1,2,3 then the children in emission order.
+  std::vector<int> folded;
+  std::vector<std::int64_t> seeds_seen;
+  ht::parallel_wavefront<int, std::int64_t>(
+      std::vector<int>{0, 1, 2, 3}, /*seed=*/99,
+      [](const int& item, ht::Rng& rng) {
+        (void)rng;
+        return static_cast<std::int64_t>(item);
+      },
+      [&](int item, std::int64_t result, auto&& emit) {
+        folded.push_back(item);
+        seeds_seen.push_back(result);
+        if (item < 4) {
+          emit(item * 10 + 4);
+          emit(item * 10 + 5);
+        }
+      });
+  const std::vector<int> expected{0, 1,  2,  3,  4,  5,  14, 15,
+                                  24, 25, 34, 35};
+  EXPECT_EQ(folded, expected);
+}
+
+TEST(Wavefront, RngStreamsDependOnGlobalIndexOnly) {
+  // Run the same wavefront twice with different pool sizes; the map-phase
+  // RNG draws must be identical because they derive from (seed, index).
+  auto run = [] {
+    std::vector<std::uint64_t> draws;
+    ht::parallel_wavefront<int, std::uint64_t>(
+        std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}, /*seed=*/7,
+        [](const int&, ht::Rng& rng) { return rng.next_below(1u << 30); },
+        [&](int, std::uint64_t result, auto&&) { draws.push_back(result); });
+    return draws;
+  };
+  ht::ThreadPool::reset_global(1);
+  const auto serial = run();
+  ht::ThreadPool::reset_global(4);
+  const auto parallel = run();
+  ht::ThreadPool::reset_global();
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(PerfCounters, AccumulatesAndResets) {
+  auto& pc = ht::PerfCounters::global();
+  pc.reset();
+  pc.add_pieces(3);
+  pc.add_max_flow_call();
+  pc.note_queue_depth(7);
+  pc.note_queue_depth(2);
+  pc.add_phase_time("test.phase", 0.5);
+  EXPECT_EQ(pc.pieces(), 3u);
+  EXPECT_EQ(pc.max_flow_calls(), 1u);
+  EXPECT_GE(pc.max_queue_depth(), 7u);
+  const std::string report = pc.report();
+  EXPECT_NE(report.find("pieces=3"), std::string::npos);
+  EXPECT_NE(report.find("test.phase"), std::string::npos);
+  pc.reset();
+  EXPECT_EQ(pc.pieces(), 0u);
+  EXPECT_EQ(pc.max_flow_calls(), 0u);
 }
 
 }  // namespace
