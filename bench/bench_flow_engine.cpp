@@ -1,0 +1,166 @@
+// Experiment FE: the zero-rebuild flow engine vs. building a network per
+// max-flow query.
+//
+// Each section runs one cut-tree workload twice — engine cache enabled
+// (reset-and-reuse, the default) and disabled via FlowReuseScope (fresh
+// FlowNetwork per query, the pre-refactor behaviour) — and reports wall
+// time, max-flow calls, engine builds, and the arena hit rate. The outputs
+// are bit-identical either way (see Determinism.* / FlowEngine.* tests);
+// only the allocation profile moves. Results are written to
+// BENCH_flow_engine.json for the CI perf-smoke artifact.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "flow/flow_network.hpp"
+#include "flow/gomory_hu.hpp"
+#include "flow/hypergraph_gomory_hu.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "util/perf_counters.hpp"
+#include "util/rng.hpp"
+#include "util/work_arena.hpp"
+
+namespace {
+
+struct Measurement {
+  double wall_ms = 0.0;
+  std::uint64_t max_flow_calls = 0;
+  std::uint64_t flow_builds = 0;
+  std::uint64_t flow_reuses = 0;
+  double arena_hit_rate = 0.0;
+  std::uint64_t peak_arena_bytes = 0;
+};
+
+struct Section {
+  std::string name;
+  Measurement reuse;
+  Measurement fresh;
+};
+
+/// Runs `work` with counters cleared and returns the counter snapshot.
+template <typename Fn>
+Measurement measure(Fn&& work) {
+  ht::WorkArena::local().clear_cache();
+  auto& counters = ht::PerfCounters::global();
+  counters.reset();
+  ht::Timer timer;
+  work();
+  Measurement m;
+  m.wall_ms = timer.millis();
+  m.max_flow_calls = counters.max_flow_calls();
+  m.flow_builds = counters.flow_builds();
+  m.flow_reuses = counters.flow_reuses();
+  m.arena_hit_rate = counters.arena_hit_rate();
+  m.peak_arena_bytes = counters.peak_arena_bytes();
+  return m;
+}
+
+template <typename Fn>
+Section run_section(const std::string& name, Fn&& work) {
+  Section s;
+  s.name = name;
+  s.reuse = measure(work);
+  {
+    ht::flow::FlowReuseScope off(false);
+    s.fresh = measure(work);
+  }
+  return s;
+}
+
+void append_json(std::string& out, const std::string& name,
+                 const Measurement& m, bool last) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    \"%s\": {\"wall_ms\": %.3f, \"max_flow_calls\": %llu, "
+                "\"flow_builds\": %llu, \"flow_reuses\": %llu, "
+                "\"arena_hit_rate\": %.4f, \"peak_arena_bytes\": %llu}%s\n",
+                name.c_str(), m.wall_ms,
+                static_cast<unsigned long long>(m.max_flow_calls),
+                static_cast<unsigned long long>(m.flow_builds),
+                static_cast<unsigned long long>(m.flow_reuses),
+                m.arena_hit_rate,
+                static_cast<unsigned long long>(m.peak_arena_bytes),
+                last ? "" : ",");
+  out += buf;
+}
+
+}  // namespace
+
+int main() {
+  ht::bench::print_header(
+      "FE: zero-rebuild flow engine",
+      "reset()-and-reuse cuts network (re)builds by >= 1.5x vs "
+      "build-per-query, with byte-identical outputs");
+
+  std::vector<Section> sections;
+
+  {
+    ht::Rng rng(1313);
+    const auto g = ht::graph::gnp_connected(160, 6.0 / 160, rng);
+    sections.push_back(run_section(
+        "gomory_hu", [&g] { (void)ht::flow::gomory_hu(g); }));
+  }
+  {
+    ht::Rng rng(2024);
+    const auto g = ht::graph::gnp_connected(140, 5.0 / 140, rng);
+    ht::cuttree::VertexCutTreeOptions opt;
+    opt.threshold_override = 0.75;  // force splits all the way down
+    sections.push_back(run_section("vertex_cut_tree", [&] {
+      (void)ht::cuttree::build_vertex_cut_tree(g, opt);
+    }));
+  }
+  {
+    ht::Rng rng(99);
+    const auto h = ht::hypergraph::random_uniform(80, 160, 3, rng);
+    sections.push_back(run_section("hypergraph_gomory_hu", [&h] {
+      (void)ht::flow::hypergraph_gomory_hu(h);
+    }));
+  }
+
+  ht::Table table({"section", "mode", "wall_ms", "flows", "builds", "reuses",
+                   "hit_rate", "build_ratio"});
+  bool gate_ok = true;
+  for (const auto& s : sections) {
+    const double ratio =
+        s.reuse.flow_builds > 0
+            ? static_cast<double>(s.fresh.flow_builds) /
+                  static_cast<double>(s.reuse.flow_builds)
+            : 0.0;
+    table.add(s.name, "reuse", s.reuse.wall_ms, s.reuse.max_flow_calls,
+              s.reuse.flow_builds, s.reuse.flow_reuses,
+              s.reuse.arena_hit_rate, ratio);
+    table.add(s.name, "fresh", s.fresh.wall_ms, s.fresh.max_flow_calls,
+              s.fresh.flow_builds, s.fresh.flow_reuses,
+              s.fresh.arena_hit_rate, 1.0);
+    // Acceptance gate: >= 1.5x fewer network builds (or faster wall time)
+    // on the Gomory-Hu and vertex-cut-tree sections.
+    if (s.name != "hypergraph_gomory_hu" && ratio < 1.5 &&
+        s.reuse.wall_ms >= s.fresh.wall_ms) {
+      gate_ok = false;
+    }
+  }
+  ht::bench::print_table(table);
+  std::cout << (gate_ok ? "gate: PASS (>=1.5x fewer flow-network builds)"
+                        : "gate: FAIL")
+            << "\n";
+
+  std::string json = "{\n";
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const auto& s = sections[i];
+    json += "  \"" + s.name + "\": {\n";
+    append_json(json, "reuse", s.reuse, false);
+    append_json(json, "fresh", s.fresh, true);
+    json += i + 1 == sections.size() ? "  }\n" : "  },\n";
+  }
+  json += "}\n";
+  if (std::FILE* f = std::fopen("BENCH_flow_engine.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::cout << "wrote BENCH_flow_engine.json\n";
+  }
+  return gate_ok ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 
 #include "cuttree/tree_bisection.hpp"
 #include "cuttree/vertex_cut_tree.hpp"
+#include "hypergraph/subset_view.hpp"
 #include "partition/graph_bisection.hpp"
 #include "partition/sparsest_cut.hpp"
 #include "partition/unbalanced_kcut.hpp"
@@ -53,7 +54,10 @@ Phase1Result phase1_peel(const Hypergraph& h, double threshold,
       result.is_final = true;
       return result;
     }
-    const auto sub = ht::hypergraph::induced_subhypergraph(h, piece);
+    // View of the piece; the sparsest-cut oracle needs a concrete
+    // hypergraph, so this is a materialization boundary.
+    const ht::hypergraph::SubsetView view(h, piece);
+    const auto sub = view.materialize();
     ht::partition::SparsestCutResult sc;
     if (piece.size() <= 14) {
       sc = ht::partition::sparsest_hyperedge_cut_exact(sub.hypergraph);
@@ -70,7 +74,7 @@ Phase1Result phase1_peel(const Hypergraph& h, double threshold,
       in_small[static_cast<std::size_t>(local)] = true;
     for (std::size_t local = 0; local < piece.size(); ++local) {
       (in_small[local] ? result.small : result.large)
-          .push_back(sub.old_of_new[local]);
+          .push_back(view.old_of(static_cast<VertexId>(local)));
     }
     return result;
   };
@@ -109,7 +113,11 @@ PieceProfile build_piece_profile(const Hypergraph& h,
   out.sets.resize(static_cast<std::size_t>(kmax) + 1);
   out.cost[0] = 0.0;
   if (kmax == 0) return out;
-  const auto sub = ht::hypergraph::induced_subhypergraph(h, out.vertices);
+  // One view, one materialization for the whole profile: both the k-cut
+  // oracle and the gap-filling loop below read the same induced copy
+  // (previously the loop rebuilt it per missing k).
+  const auto sub =
+      ht::hypergraph::SubsetView(h, out.vertices).materialize();
   const std::int32_t internal_kmax = std::min(kmax, size - 1);
   if (internal_kmax >= 1 && sub.hypergraph.num_vertices() >= 2) {
     auto profile = ht::partition::unbalanced_kcut_profile(
@@ -140,7 +148,10 @@ PieceProfile build_piece_profile(const Hypergraph& h,
     out.sets[static_cast<std::size_t>(size)] = out.vertices;
   }
   // Profiles should be usable at any k the DP may pick: fill gaps with
-  // prefix-extensions of the nearest smaller witness.
+  // prefix-extensions of the nearest smaller witness. The view supplies
+  // O(1) old-id -> local-id lookups; it is created after the oracle calls
+  // above so its arena remap stays live through this serial loop.
+  const ht::hypergraph::SubsetView local_ids(h, out.vertices);
   for (std::int32_t k = 1;
        k < static_cast<std::int32_t>(out.cost.size()); ++k) {
     const auto idx = static_cast<std::size_t>(k);
@@ -149,10 +160,8 @@ PieceProfile build_piece_profile(const Hypergraph& h,
     const auto& prev = out.sets[idx - 1];
     std::vector<bool> used(out.vertices.size(), false);
     std::vector<VertexId> set = prev;
-    for (VertexId v : prev) {
-      const auto it = std::find(out.vertices.begin(), out.vertices.end(), v);
-      used[static_cast<std::size_t>(it - out.vertices.begin())] = true;
-    }
+    for (VertexId v : prev)
+      used[static_cast<std::size_t>(local_ids.local_of(v))] = true;
     for (std::size_t i = 0;
          i < out.vertices.size() &&
          set.size() < static_cast<std::size_t>(k);
@@ -160,16 +169,11 @@ PieceProfile build_piece_profile(const Hypergraph& h,
       if (!used[i]) set.push_back(out.vertices[i]);
     }
     if (set.size() == static_cast<std::size_t>(k)) {
-      const auto sub2 = ht::hypergraph::induced_subhypergraph(h, out.vertices);
-      // Cost: cut of the extended set inside the piece.
+      // Cost: cut of the extended set inside the piece, evaluated on the
+      // single materialized copy from above.
       std::vector<VertexId> local_set;
-      for (VertexId v : set) {
-        const auto it =
-            std::find(out.vertices.begin(), out.vertices.end(), v);
-        local_set.push_back(
-            static_cast<VertexId>(it - out.vertices.begin()));
-      }
-      out.cost[idx] = sub2.hypergraph.cut_weight(local_set);
+      for (VertexId v : set) local_set.push_back(local_ids.local_of(v));
+      out.cost[idx] = sub.hypergraph.cut_weight(local_set);
       out.sets[idx] = std::move(set);
     }
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "graph/subset_view.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "partition/sparsest_cut.hpp"
 #include "util/perf_counters.hpp"
@@ -87,12 +88,17 @@ Tree build_decomposition_tree(const Graph& g,
       return result;
     }
 
-    // Split the cluster with the sparsest cut of its induced subgraph
-    // (wrapped 2-uniform so the hypergraph oracle applies).
-    const auto sub = ht::graph::induced_subgraph(g, vertices);
-    ht::hypergraph::Hypergraph wrapper(sub.graph.num_vertices());
-    for (const auto& e : sub.graph.edges())
-      wrapper.add_edge({e.u, e.v}, e.weight);
+    // Split the cluster with the sparsest cut of its induced subgraph,
+    // wrapped 2-uniform so the hypergraph oracle applies. The view lets
+    // the wrapper be built straight from the parent's edge list — the
+    // intermediate induced Graph copy is gone.
+    const ht::graph::SubsetView view(g, vertices);
+    ht::hypergraph::Hypergraph wrapper(view.size());
+    for (const auto& e : g.edges()) {
+      const VertexId nu = view.local_of(e.u);
+      const VertexId nv = view.local_of(e.v);
+      if (nu != -1 && nv != -1) wrapper.add_edge({nu, nv}, e.weight);
+    }
     wrapper.finalize();
 
     std::vector<std::vector<VertexId>> parts;
@@ -116,7 +122,8 @@ Tree build_decomposition_tree(const Graph& g,
           in_small[static_cast<std::size_t>(local)] = true;
         std::vector<VertexId> small, large;
         for (std::size_t i = 0; i < vertices.size(); ++i)
-          (in_small[i] ? small : large).push_back(sub.old_of_new[i]);
+          (in_small[i] ? small : large)
+              .push_back(view.old_of(static_cast<VertexId>(i)));
         parts.push_back(std::move(small));
         parts.push_back(std::move(large));
       }

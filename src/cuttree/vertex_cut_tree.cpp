@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/subset_view.hpp"
 #include "partition/min_ratio_cut.hpp"
 #include "util/perf_counters.hpp"
 #include "util/wavefront.hpp"
@@ -63,7 +64,10 @@ VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
       result.is_final = true;
       return result;
     }
-    const auto sub = ht::graph::induced_subgraph(g, piece);
+    // View of the piece; the min-ratio oracle needs a concrete graph, so
+    // this is a materialization boundary.
+    const ht::graph::SubsetView view(g, piece);
+    const auto sub = view.materialize();
     ht::partition::VertexSeparator sep;
     if (static_cast<std::int32_t>(piece.size()) <=
         options.exact_oracle_limit) {
@@ -76,8 +80,7 @@ VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
       return result;
     }
     for (VertexId local : sep.x)
-      result.separator.push_back(
-          sub.old_of_new[static_cast<std::size_t>(local)]);
+      result.separator.push_back(view.old_of(local));
     // Recurse on the connected components of piece \ X. (A and B are
     // unions of components by construction, but splitting to actual
     // components peels faster and never hurts domination.)
@@ -91,7 +94,7 @@ VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
       const auto c = comp[local];
       if (c >= 0)
         result.children[static_cast<std::size_t>(c)].push_back(
-            sub.old_of_new[local]);
+            view.old_of(static_cast<VertexId>(local)));
     }
     return result;
   };

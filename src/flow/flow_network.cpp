@@ -1,0 +1,346 @@
+#include "flow/flow_network.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <queue>
+
+#include "flow/dinic.hpp"
+#include "flow/push_relabel.hpp"
+#include "util/perf_counters.hpp"
+
+namespace ht::flow {
+
+// The engines that predate the arena must agree on what "infinite" means;
+// a drifting copy of this constant is exactly the bug this definition
+// removes.
+static_assert(kInfiniteCapacity == Dinic<double>::kInfinity);
+static_assert(kInfiniteCapacity == PushRelabel<double>::kInfinity);
+
+namespace {
+
+std::atomic<bool> g_flow_reuse_enabled{true};
+
+}  // namespace
+
+bool flow_reuse_enabled() {
+  return g_flow_reuse_enabled.load(std::memory_order_relaxed);
+}
+
+FlowReuseScope::FlowReuseScope(bool enable)
+    : previous_(g_flow_reuse_enabled.exchange(enable,
+                                              std::memory_order_relaxed)) {}
+
+FlowReuseScope::~FlowReuseScope() {
+  g_flow_reuse_enabled.store(previous_, std::memory_order_relaxed);
+}
+
+void FlowNetwork::init(NodeId inner_nodes, std::int32_t terminal_slots) {
+  HT_CHECK(inner_nodes >= 0 && terminal_slots >= 0);
+  first_out_.assign(static_cast<std::size_t>(inner_nodes) + 2, -1);
+  source_ = inner_nodes;
+  sink_ = inner_nodes + 1;
+  source_arc_of_.assign(static_cast<std::size_t>(terminal_slots), -1);
+  sink_arc_of_.assign(static_cast<std::size_t>(terminal_slots), -1);
+}
+
+std::int32_t FlowNetwork::add_pair(NodeId u, NodeId v, double cap_fwd,
+                                   double cap_bwd) {
+  HT_DCHECK(0 <= u && u < num_nodes());
+  HT_DCHECK(0 <= v && v < num_nodes());
+  HT_DCHECK(cap_fwd >= 0.0 && cap_bwd >= 0.0);
+  const auto a = static_cast<std::int32_t>(arc_to_.size());
+  arc_to_.push_back(v);
+  arc_next_.push_back(first_out_[static_cast<std::size_t>(u)]);
+  base_cap_.push_back(cap_fwd);
+  first_out_[static_cast<std::size_t>(u)] = a;
+  arc_to_.push_back(u);
+  arc_next_.push_back(first_out_[static_cast<std::size_t>(v)]);
+  base_cap_.push_back(cap_bwd);
+  first_out_[static_cast<std::size_t>(v)] = a + 1;
+  return a;
+}
+
+void FlowNetwork::add_terminal_pair(std::int32_t slot, NodeId source_entry,
+                                    NodeId sink_exit) {
+  // Dormant at capacity 0: positive() filters them out of every traversal
+  // until attach_* flips them to kInfiniteCapacity for one query.
+  source_arc_of_[static_cast<std::size_t>(slot)] =
+      add_arc(source_, source_entry, 0.0);
+  sink_arc_of_[static_cast<std::size_t>(slot)] =
+      add_arc(sink_exit, sink_, 0.0);
+}
+
+void FlowNetwork::freeze() {
+  cap_ = base_cap_;
+  level_.assign(first_out_.size(), -1);
+  iter_.assign(first_out_.size(), -1);
+  reach_.assign(first_out_.size(), 0);
+  PerfCounters::global().add_flow_build();
+}
+
+FlowNetwork FlowNetwork::edge_cut_network(const ht::graph::Graph& g) {
+  HT_CHECK(g.finalized());
+  FlowNetwork net;
+  net.init(g.num_vertices(), g.num_vertices());
+  for (ht::graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    net.add_undirected(edge.u, edge.v, edge.weight);
+  }
+  for (ht::graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    net.add_terminal_pair(v, v, v);
+  net.freeze();
+  return net;
+}
+
+FlowNetwork FlowNetwork::vertex_cut_network(const ht::graph::Graph& g) {
+  HT_CHECK(g.finalized());
+  const ht::graph::VertexId n = g.num_vertices();
+  auto v_in = [](ht::graph::VertexId v) { return static_cast<NodeId>(2 * v); };
+  auto v_out = [](ht::graph::VertexId v) {
+    return static_cast<NodeId>(2 * v + 1);
+  };
+  FlowNetwork net;
+  net.init(2 * n, n);
+  for (ht::graph::VertexId v = 0; v < n; ++v)
+    net.add_arc(v_in(v), v_out(v), g.vertex_weight(v));
+  for (const auto& edge : g.edges()) {
+    net.add_arc(v_out(edge.u), v_in(edge.v), kInfiniteCapacity);
+    net.add_arc(v_out(edge.v), v_in(edge.u), kInfiniteCapacity);
+  }
+  // Entering at v_in (before the capacity arc) lets the cut pick A and B
+  // vertices themselves, matching the paper's definition of a vertex cut.
+  for (ht::graph::VertexId v = 0; v < n; ++v)
+    net.add_terminal_pair(v, v_in(v), v_out(v));
+  net.freeze();
+  return net;
+}
+
+FlowNetwork FlowNetwork::hyperedge_cut_network(
+    const ht::hypergraph::Hypergraph& h) {
+  HT_CHECK(h.finalized());
+  const auto n = h.num_vertices();
+  const auto m = h.num_edges();
+  auto e_in = [n](ht::hypergraph::EdgeId e) {
+    return static_cast<NodeId>(n + 2 * e);
+  };
+  auto e_out = [n](ht::hypergraph::EdgeId e) {
+    return static_cast<NodeId>(n + 2 * e + 1);
+  };
+  FlowNetwork net;
+  net.init(n + 2 * m, n);
+  for (ht::hypergraph::EdgeId e = 0; e < m; ++e) {
+    net.add_arc(e_in(e), e_out(e), h.edge_weight(e));
+    for (auto v : h.pins(e)) {
+      net.add_arc(v, e_in(e), kInfiniteCapacity);
+      net.add_arc(e_out(e), v, kInfiniteCapacity);
+    }
+  }
+  for (ht::hypergraph::VertexId v = 0; v < n; ++v)
+    net.add_terminal_pair(v, v, v);
+  net.freeze();
+  return net;
+}
+
+void FlowNetwork::reset() {
+  HT_CHECK(source_ >= 0);
+  std::copy(base_cap_.begin(), base_cap_.end(), cap_.begin());
+  ++queries_;
+}
+
+void FlowNetwork::attach_source(std::int32_t slot) {
+  HT_CHECK(0 <= slot &&
+           slot < static_cast<std::int32_t>(source_arc_of_.size()));
+  cap_[static_cast<std::size_t>(
+      source_arc_of_[static_cast<std::size_t>(slot)])] = kInfiniteCapacity;
+}
+
+void FlowNetwork::attach_sink(std::int32_t slot) {
+  HT_CHECK(0 <= slot &&
+           slot < static_cast<std::int32_t>(sink_arc_of_.size()));
+  cap_[static_cast<std::size_t>(
+      sink_arc_of_[static_cast<std::size_t>(slot)])] = kInfiniteCapacity;
+}
+
+bool FlowNetwork::bfs() {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<NodeId> q;
+  level_[static_cast<std::size_t>(source_)] = 0;
+  q.push(source_);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (std::int32_t a = first_out_[static_cast<std::size_t>(v)]; a != -1;
+         a = arc_next_[static_cast<std::size_t>(a)]) {
+      if (!positive(cap_[static_cast<std::size_t>(a)])) continue;
+      const NodeId to = arc_to_[static_cast<std::size_t>(a)];
+      if (level_[static_cast<std::size_t>(to)] != -1) continue;
+      level_[static_cast<std::size_t>(to)] =
+          level_[static_cast<std::size_t>(v)] + 1;
+      q.push(to);
+    }
+  }
+  return level_[static_cast<std::size_t>(sink_)] != -1;
+}
+
+double FlowNetwork::dfs(NodeId v, double limit) {
+  if (v == sink_) return limit;
+  for (std::int32_t& a = iter_[static_cast<std::size_t>(v)]; a != -1;
+       a = arc_next_[static_cast<std::size_t>(a)]) {
+    const double cap = cap_[static_cast<std::size_t>(a)];
+    if (!positive(cap)) continue;
+    const NodeId to = arc_to_[static_cast<std::size_t>(a)];
+    if (level_[static_cast<std::size_t>(to)] !=
+        level_[static_cast<std::size_t>(v)] + 1)
+      continue;
+    const double pushed = dfs(to, cap < limit ? cap : limit);
+    if (positive(pushed)) {
+      cap_[static_cast<std::size_t>(a)] -= pushed;
+      cap_[static_cast<std::size_t>(a ^ 1)] += pushed;
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+double FlowNetwork::max_flow() {
+  HT_CHECK(source_ >= 0);
+  double total = 0.0;
+  while (bfs()) {
+    std::copy(first_out_.begin(), first_out_.end(), iter_.begin());
+    for (;;) {
+      const double pushed = dfs(source_, kInfiniteCapacity);
+      if (!positive(pushed)) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double FlowNetwork::max_flow_push_relabel() {
+  HT_CHECK(source_ >= 0);
+  const auto n = static_cast<std::size_t>(num_nodes());
+  height_.assign(n, 0);
+  excess_.assign(n, 0.0);
+  height_[static_cast<std::size_t>(source_)] = num_nodes();
+  height_count_.assign(2 * n + 2, 0);
+  height_count_[0] = static_cast<std::int32_t>(n - 1);
+  height_count_[n] = 1;
+
+  auto push = [&](std::int32_t a, double amount) {
+    const NodeId from = arc_to_[static_cast<std::size_t>(a ^ 1)];
+    cap_[static_cast<std::size_t>(a)] -= amount;
+    cap_[static_cast<std::size_t>(a ^ 1)] += amount;
+    excess_[static_cast<std::size_t>(from)] -= amount;
+    excess_[static_cast<std::size_t>(arc_to_[static_cast<std::size_t>(a)])] +=
+        amount;
+  };
+  auto relabel = [&](NodeId v) {
+    const auto old_height = height_[static_cast<std::size_t>(v)];
+    std::int64_t best = 2 * num_nodes();
+    for (std::int32_t a = first_out_[static_cast<std::size_t>(v)]; a != -1;
+         a = arc_next_[static_cast<std::size_t>(a)]) {
+      if (positive(cap_[static_cast<std::size_t>(a)]))
+        best = std::min<std::int64_t>(
+            best,
+            height_[static_cast<std::size_t>(
+                arc_to_[static_cast<std::size_t>(a)])] +
+                1);
+    }
+    // Gap heuristic: if v was the last node at its height, every node
+    // above that height (below n) is cut off from the sink — lift them.
+    if (--height_count_[static_cast<std::size_t>(old_height)] == 0 &&
+        old_height < num_nodes()) {
+      for (NodeId u = 0; u < num_nodes(); ++u) {
+        auto& hu = height_[static_cast<std::size_t>(u)];
+        if (old_height < hu && hu < num_nodes()) {
+          --height_count_[static_cast<std::size_t>(hu)];
+          hu = num_nodes() + 1;
+          ++height_count_[static_cast<std::size_t>(hu)];
+        }
+      }
+    }
+    // Exact arithmetic guarantees relabel strictly raises the height; the
+    // kInfiniteCapacity terminal arcs break that in doubles (a push of c
+    // out of an excess of ~1e307 leaves the excess bit-identical, minting
+    // phantom excess downstream with no residual path back to the super-
+    // source). A node stuck at the 2n clamp would relabel forever — park
+    // it above every reachable height instead and strand its dust; the
+    // sink's excess, which is what we return, is unaffected.
+    if (best <= old_height) best = 2 * num_nodes() + 1;
+    height_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(best);
+    ++height_count_[static_cast<std::size_t>(best)];
+  };
+
+  for (std::int32_t a = first_out_[static_cast<std::size_t>(source_)];
+       a != -1; a = arc_next_[static_cast<std::size_t>(a)]) {
+    push(a, cap_[static_cast<std::size_t>(a)]);
+  }
+  std::queue<NodeId> active;
+  for (NodeId v = 0; v < num_nodes(); ++v)
+    if (v != source_ && v != sink_ &&
+        positive(excess_[static_cast<std::size_t>(v)]))
+      active.push(v);
+
+  current_.assign(first_out_.begin(), first_out_.end());
+  while (!active.empty()) {
+    const NodeId v = active.front();
+    active.pop();
+    if (v == source_ || v == sink_) continue;
+    while (positive(excess_[static_cast<std::size_t>(v)])) {
+      if (height_[static_cast<std::size_t>(v)] > 2 * num_nodes()) break;
+      std::int32_t& a = current_[static_cast<std::size_t>(v)];
+      if (a == -1) {
+        relabel(v);
+        a = first_out_[static_cast<std::size_t>(v)];
+        continue;
+      }
+      const NodeId to = arc_to_[static_cast<std::size_t>(a)];
+      if (positive(cap_[static_cast<std::size_t>(a)]) &&
+          height_[static_cast<std::size_t>(v)] ==
+              height_[static_cast<std::size_t>(to)] + 1) {
+        const bool was_inactive =
+            !positive(excess_[static_cast<std::size_t>(to)]);
+        push(a, std::min(excess_[static_cast<std::size_t>(v)],
+                         cap_[static_cast<std::size_t>(a)]));
+        if (was_inactive && to != sink_ && to != source_) active.push(to);
+      } else {
+        a = arc_next_[static_cast<std::size_t>(a)];
+      }
+    }
+  }
+  return excess_[static_cast<std::size_t>(sink_)];
+}
+
+const std::vector<char>& FlowNetwork::source_side() {
+  HT_CHECK(source_ >= 0);
+  std::fill(reach_.begin(), reach_.end(), 0);
+  // iter_ is dead between solves; borrow it as the DFS stack.
+  std::int32_t top = 0;
+  iter_[static_cast<std::size_t>(top++)] = source_;
+  reach_[static_cast<std::size_t>(source_)] = 1;
+  while (top > 0) {
+    const NodeId v = iter_[static_cast<std::size_t>(--top)];
+    for (std::int32_t a = first_out_[static_cast<std::size_t>(v)]; a != -1;
+         a = arc_next_[static_cast<std::size_t>(a)]) {
+      if (!positive(cap_[static_cast<std::size_t>(a)])) continue;
+      const NodeId to = arc_to_[static_cast<std::size_t>(a)];
+      if (reach_[static_cast<std::size_t>(to)]) continue;
+      reach_[static_cast<std::size_t>(to)] = 1;
+      iter_[static_cast<std::size_t>(top++)] = to;
+    }
+  }
+  return reach_;
+}
+
+std::size_t FlowNetwork::memory_bytes() const {
+  auto bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  return bytes(first_out_) + bytes(arc_to_) + bytes(arc_next_) +
+         bytes(base_cap_) + bytes(cap_) + bytes(source_arc_of_) +
+         bytes(sink_arc_of_) + bytes(level_) + bytes(iter_) + bytes(reach_) +
+         bytes(height_) + bytes(excess_) + bytes(height_count_) +
+         bytes(current_);
+}
+
+}  // namespace ht::flow

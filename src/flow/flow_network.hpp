@@ -1,0 +1,164 @@
+// Reusable flow-network arena: build the arc structure once, then answer
+// many max-flow queries by reset-and-reuse instead of reallocation.
+//
+// The cut-tree stack (Gomory–Hu, the Section 3.1 vertex cut tree, the
+// min-ratio oracle) issues O(n) max-flow calls over near-identical
+// networks. Rebuilding a Dinic instance per call makes allocation the
+// dominant serial cost inside parallel wavefronts; KaHyPar and Mt-KaHyPar
+// attribute large constant-factor wins to materializing the flow structure
+// once and resetting between calls, and this class ports that pattern.
+//
+// A FlowNetwork materializes one of three expansions:
+//   * edge_cut_network      — the graph itself (undirected arcs)
+//   * vertex_cut_network    — the vertex-split graph (v_in -> v_out)
+//   * hyperedge_cut_network — the Lawler expansion of a hypergraph
+// plus two super terminals s/t with one *preallocated* zero-capacity
+// terminal arc pair per vertex. A query is then:
+//
+//   net.reset();                        // O(arcs) capacity restore, no alloc
+//   net.attach_source(v); ...           // flip terminal arcs to infinity
+//   net.attach_sink(u);  ...
+//   net.max_flow();                     // Dinic (or push-relabel) in place
+//   const auto& side = net.source_side();
+//
+// Because reset() restores the exact pre-query capacities, a reused
+// network answers every query bit-identically to a freshly built one.
+//
+// Engines are cached per thread in WorkArena keyed by the structure uid of
+// the underlying (hyper)graph; FlowReuseScope(false) disables the cache so
+// tests and benches can compare the fresh-build path.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "util/check.hpp"
+
+namespace ht::flow {
+
+using NodeId = std::int32_t;
+
+/// The shared "practically infinite" capacity used for terminal and
+/// expansion arcs (single definition; Dinic/PushRelabel's kInfinity must
+/// stay equal to it — asserted in flow_network.cpp).
+inline constexpr double kInfiniteCapacity =
+    std::numeric_limits<double>::max() / 4;
+
+/// Cache-key namespace for WorkArena::acquire: which expansion a cached
+/// FlowNetwork materializes (one structure uid can back several kinds).
+enum FlowNetworkKind : std::uint32_t {
+  kEdgeCutNetwork = 1,
+  kVertexCutNetwork = 2,
+  kHyperedgeCutNetwork = 3,
+};
+
+/// True when min_*_cut may serve queries from thread-local cached engines
+/// (the default). Toggled by FlowReuseScope.
+bool flow_reuse_enabled();
+
+/// RAII switch for the engine cache; FlowReuseScope off(false) forces the
+/// pre-refactor build-per-call behaviour (used by equivalence tests and
+/// the fresh-vs-reuse bench sections).
+class FlowReuseScope {
+ public:
+  explicit FlowReuseScope(bool enable);
+  ~FlowReuseScope();
+  FlowReuseScope(const FlowReuseScope&) = delete;
+  FlowReuseScope& operator=(const FlowReuseScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+class FlowNetwork {
+ public:
+  FlowNetwork() = default;
+
+  /// Arena for min_edge_cut on g: node per vertex, undirected arc per
+  /// edge, terminal slots at every vertex.
+  static FlowNetwork edge_cut_network(const ht::graph::Graph& g);
+  /// Arena for min_vertex_cut on g: node splitting v_in = 2v, v_out =
+  /// 2v+1, capacity w(v) on the split arc; source attaches at v_in,
+  /// sink at v_out (the cut may pick terminal vertices themselves).
+  static FlowNetwork vertex_cut_network(const ht::graph::Graph& g);
+  /// Arena for min_hyperedge_cut on h: Lawler expansion with hyperedge
+  /// nodes n+2e / n+2e+1 and infinite membership arcs.
+  static FlowNetwork hyperedge_cut_network(const ht::hypergraph::Hypergraph& h);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(first_out_.size()); }
+  NodeId source() const { return source_; }
+  NodeId sink() const { return sink_; }
+  std::int64_t num_arcs() const {
+    return static_cast<std::int64_t>(arc_to_.size());
+  }
+  /// Number of reset() calls served so far (0 = never queried).
+  std::uint64_t queries() const { return queries_; }
+
+  /// Restores every capacity to its build-time value (terminal arcs back
+  /// to zero) in O(arcs) with no allocation. Must precede attach_*.
+  void reset();
+  /// Activates the preallocated s -> slot arc at infinite capacity.
+  /// `slot` is the original vertex id the builder registered.
+  void attach_source(std::int32_t slot);
+  /// Activates the preallocated slot -> t arc at infinite capacity.
+  void attach_sink(std::int32_t slot);
+
+  /// Dinic max flow s -> t over the current capacities, in place.
+  double max_flow();
+  /// FIFO push-relabel (gap heuristic) over the same arena — the second,
+  /// independent solver; agrees with max_flow() up to float slack.
+  double max_flow_push_relabel();
+
+  /// After a solve: vertices reachable from s in the residual network (the
+  /// canonical inclusion-minimal min cut's source side). The reference is
+  /// into a scratch buffer invalidated by the next query on this network.
+  const std::vector<char>& source_side();
+
+  /// Approximate heap footprint, for the arena peak-allocation counter.
+  std::size_t memory_bytes() const;
+
+ private:
+  void init(NodeId inner_nodes, std::int32_t terminal_slots);
+  std::int32_t add_pair(NodeId u, NodeId v, double cap_fwd, double cap_bwd);
+  std::int32_t add_arc(NodeId u, NodeId v, double cap) {
+    return add_pair(u, v, cap, 0.0);
+  }
+  std::int32_t add_undirected(NodeId u, NodeId v, double cap) {
+    return add_pair(u, v, cap, cap);
+  }
+  void add_terminal_pair(std::int32_t slot, NodeId source_entry,
+                         NodeId sink_exit);
+  void freeze();
+
+  static bool positive(double c) { return c > 1e-11; }
+  bool bfs();
+  double dfs(NodeId v, double limit);
+
+  // Static structure (immutable after freeze()).
+  std::vector<std::int32_t> first_out_;
+  std::vector<NodeId> arc_to_;
+  std::vector<std::int32_t> arc_next_;
+  std::vector<double> base_cap_;
+  std::vector<std::int32_t> source_arc_of_;  // per terminal slot
+  std::vector<std::int32_t> sink_arc_of_;
+  NodeId source_ = -1;
+  NodeId sink_ = -1;
+
+  // Per-query state.
+  std::vector<double> cap_;
+  std::uint64_t queries_ = 0;
+
+  // Solver scratch, reused across queries.
+  std::vector<std::int32_t> level_;
+  std::vector<std::int32_t> iter_;
+  std::vector<char> reach_;
+  std::vector<std::int32_t> height_;
+  std::vector<double> excess_;
+  std::vector<std::int32_t> height_count_;
+  std::vector<std::int32_t> current_;
+};
+
+}  // namespace ht::flow

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "flow/dinic.hpp"
+#include "flow/flow_network.hpp"
 #include "flow/min_cut.hpp"
 #include "util/perf_counters.hpp"
 #include "util/thread_pool.hpp"
@@ -27,7 +27,7 @@ double HypergraphGomoryHuTree::min_cut(VertexId s, VertexId t) const {
     --is;
     --it;
   }
-  double best = Dinic<double>::kInfinity;
+  double best = kInfiniteCapacity;
   for (std::size_t i = 0; i < is; ++i)
     best = std::min(best, parent_cut[static_cast<std::size_t>(ps[i])]);
   for (std::size_t i = 0; i < it; ++i)

@@ -1,9 +1,11 @@
 #include "flow/min_cut.hpp"
 
 #include <algorithm>
+#include <optional>
 
-#include "flow/dinic.hpp"
+#include "flow/flow_network.hpp"
 #include "util/perf_counters.hpp"
+#include "util/work_arena.hpp"
 
 namespace ht::flow {
 
@@ -12,8 +14,6 @@ namespace {
 using ht::graph::Graph;
 using ht::graph::VertexId;
 using ht::hypergraph::Hypergraph;
-
-constexpr double kInf = Dinic<double>::kInfinity;
 
 void check_disjoint_nonempty(const std::vector<VertexId>& a,
                              const std::vector<VertexId>& b, VertexId n) {
@@ -30,6 +30,23 @@ void check_disjoint_nonempty(const std::vector<VertexId>& a,
   }
 }
 
+/// The cached engine for (kind, uid), or a freshly built one parked in
+/// `fresh` when reuse is off / uid is 0. The returned reference must not be
+/// held across a thread-pool wait (see WorkArena).
+template <typename BuildFn>
+FlowNetwork& acquire_network(std::uint32_t kind, std::uint64_t uid,
+                             std::optional<FlowNetwork>& fresh,
+                             BuildFn&& build) {
+  if (flow_reuse_enabled() && uid != 0) {
+    FlowNetwork& net = ht::WorkArena::local().acquire<FlowNetwork>(
+        kind, uid, static_cast<BuildFn&&>(build));
+    if (net.queries() > 0) PerfCounters::global().add_flow_reuse();
+    return net;
+  }
+  fresh.emplace(build());
+  return *fresh;
+}
+
 }  // namespace
 
 EdgeCutResult min_edge_cut(const Graph& g, const std::vector<VertexId>& a,
@@ -38,25 +55,21 @@ EdgeCutResult min_edge_cut(const Graph& g, const std::vector<VertexId>& a,
   PerfCounters::global().add_max_flow_call();
   check_disjoint_nonempty(a, b, g.num_vertices());
   const NodeId n = g.num_vertices();
-  Dinic<double> dinic(n + 2);
-  const NodeId s = n, t = n + 1;
-  std::vector<std::int32_t> arc_of_edge(
-      static_cast<std::size_t>(g.num_edges()));
-  for (ht::graph::EdgeId e = 0; e < g.num_edges(); ++e) {
-    const auto& edge = g.edge(e);
-    arc_of_edge[static_cast<std::size_t>(e)] =
-        dinic.add_undirected(edge.u, edge.v, edge.weight);
-  }
-  for (VertexId v : a) dinic.add_arc(s, v, kInf);
-  for (VertexId v : b) dinic.add_arc(v, t, kInf);
-  dinic.max_flow(s, t);
+  std::optional<FlowNetwork> fresh;
+  FlowNetwork& net =
+      acquire_network(kEdgeCutNetwork, g.uid(), fresh,
+                      [&g] { return FlowNetwork::edge_cut_network(g); });
+  net.reset();
+  for (VertexId v : a) net.attach_source(v);
+  for (VertexId v : b) net.attach_sink(v);
+  net.max_flow();
 
   EdgeCutResult out;
-  const std::vector<bool> reach = dinic.min_cut_source_side();
+  const std::vector<char>& reach = net.source_side();
   out.source_side.assign(static_cast<std::size_t>(n), false);
   for (NodeId v = 0; v < n; ++v)
     out.source_side[static_cast<std::size_t>(v)] =
-        reach[static_cast<std::size_t>(v)];
+        reach[static_cast<std::size_t>(v)] != 0;
   for (ht::graph::EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto& edge = g.edge(e);
     if (out.source_side[static_cast<std::size_t>(edge.u)] !=
@@ -74,25 +87,20 @@ VertexCutResult min_vertex_cut(const Graph& g, const std::vector<VertexId>& a,
   PerfCounters::global().add_max_flow_call();
   check_disjoint_nonempty(a, b, g.num_vertices());
   const VertexId n = g.num_vertices();
-  // Node splitting: v_in = 2v, v_out = 2v+1.
-  Dinic<double> dinic(2 * n + 2);
-  const NodeId s = 2 * n, t = 2 * n + 1;
+  // Node splitting: v_in = 2v, v_out = 2v+1 (see vertex_cut_network).
   auto v_in = [](VertexId v) { return static_cast<NodeId>(2 * v); };
   auto v_out = [](VertexId v) { return static_cast<NodeId>(2 * v + 1); };
-  for (VertexId v = 0; v < n; ++v)
-    dinic.add_arc(v_in(v), v_out(v), g.vertex_weight(v));
-  for (const auto& edge : g.edges()) {
-    dinic.add_arc(v_out(edge.u), v_in(edge.v), kInf);
-    dinic.add_arc(v_out(edge.v), v_in(edge.u), kInf);
-  }
-  // Entering at v_in (before the capacity arc) lets the cut pick A and B
-  // vertices themselves, matching the paper's definition of a vertex cut.
-  for (VertexId v : a) dinic.add_arc(s, v_in(v), kInf);
-  for (VertexId v : b) dinic.add_arc(v_out(v), t, kInf);
-  dinic.max_flow(s, t);
+  std::optional<FlowNetwork> fresh;
+  FlowNetwork& net =
+      acquire_network(kVertexCutNetwork, g.uid(), fresh,
+                      [&g] { return FlowNetwork::vertex_cut_network(g); });
+  net.reset();
+  for (VertexId v : a) net.attach_source(v);
+  for (VertexId v : b) net.attach_sink(v);
+  net.max_flow();
 
   VertexCutResult out;
-  const std::vector<bool> reach = dinic.min_cut_source_side();
+  const std::vector<char>& reach = net.source_side();
   for (VertexId v = 0; v < n; ++v) {
     if (reach[static_cast<std::size_t>(v_in(v))] &&
         !reach[static_cast<std::size_t>(v_out(v))]) {
@@ -112,30 +120,24 @@ HyperedgeCutResult min_hyperedge_cut(
   check_disjoint_nonempty(a, b, h.num_vertices());
   const auto n = h.num_vertices();
   const auto m = h.num_edges();
-  // Lawler expansion: vertex v -> node v; hyperedge e -> nodes
-  // n+2e (in) and n+2e+1 (out) joined by a capacity-w(e) arc; membership
-  // arcs are infinite.
-  Dinic<double> dinic(n + 2 * m + 2);
-  const NodeId s = n + 2 * m, t = s + 1;
+  // Lawler expansion node ids (see hyperedge_cut_network).
   auto e_in = [n](ht::hypergraph::EdgeId e) {
     return static_cast<NodeId>(n + 2 * e);
   };
   auto e_out = [n](ht::hypergraph::EdgeId e) {
     return static_cast<NodeId>(n + 2 * e + 1);
   };
-  for (ht::hypergraph::EdgeId e = 0; e < m; ++e) {
-    dinic.add_arc(e_in(e), e_out(e), h.edge_weight(e));
-    for (auto v : h.pins(e)) {
-      dinic.add_arc(v, e_in(e), kInf);
-      dinic.add_arc(e_out(e), v, kInf);
-    }
-  }
-  for (auto v : a) dinic.add_arc(s, v, kInf);
-  for (auto v : b) dinic.add_arc(v, t, kInf);
-  dinic.max_flow(s, t);
+  std::optional<FlowNetwork> fresh;
+  FlowNetwork& net =
+      acquire_network(kHyperedgeCutNetwork, h.uid(), fresh,
+                      [&h] { return FlowNetwork::hyperedge_cut_network(h); });
+  net.reset();
+  for (auto v : a) net.attach_source(v);
+  for (auto v : b) net.attach_sink(v);
+  net.max_flow();
 
   HyperedgeCutResult out;
-  const std::vector<bool> reach = dinic.min_cut_source_side();
+  const std::vector<char>& reach = net.source_side();
   for (ht::hypergraph::EdgeId e = 0; e < m; ++e) {
     if (reach[static_cast<std::size_t>(e_in(e))] &&
         !reach[static_cast<std::size_t>(e_out(e))]) {

@@ -3,6 +3,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "util/work_arena.hpp"
+
 namespace ht::graph {
 
 EdgeId Graph::add_edge(VertexId u, VertexId v, Weight w) {
@@ -13,6 +15,15 @@ EdgeId Graph::add_edge(VertexId u, VertexId v, Weight w) {
   edges_.push_back(Edge{u, v, w});
   finalized_ = false;
   return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+void Graph::set_vertex_weight(VertexId v, Weight w) {
+  HT_CHECK(w >= 0.0);
+  vertex_weights_[static_cast<std::size_t>(v)] = w;
+  // Weights feed flow capacities: a finalized graph whose weights change
+  // must present a new cache key or reused engines would answer for the
+  // old weights.
+  if (finalized_) uid_ = next_structure_uid();
 }
 
 Weight Graph::total_vertex_weight() const {
@@ -44,6 +55,7 @@ void Graph::finalize() {
     adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)]++)] =
         AdjEntry{e.u, id};
   }
+  uid_ = next_structure_uid();
   finalized_ = true;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "util/work_arena.hpp"
+
 namespace ht::hypergraph {
 
 EdgeId Hypergraph::add_edge(std::vector<VertexId> pins, Weight w) {
@@ -20,6 +22,15 @@ EdgeId Hypergraph::add_edge(std::vector<VertexId> pins, Weight w) {
   return static_cast<EdgeId>(edge_weights_.size() - 1);
 }
 
+void Hypergraph::set_vertex_weight(VertexId v, Weight w) {
+  HT_CHECK(w >= 0.0);
+  vertex_weights_[static_cast<std::size_t>(v)] = w;
+  // Weights feed flow capacities: a finalized hypergraph whose weights
+  // change must present a new cache key or reused engines would answer for
+  // the old weights.
+  if (finalized_) uid_ = next_structure_uid();
+}
+
 void Hypergraph::finalize() {
   if (finalized_) return;
   const auto n = static_cast<std::size_t>(num_vertices());
@@ -30,12 +41,18 @@ void Hypergraph::finalize() {
   inc_storage_.assign(pin_storage_.size(), 0);
   std::vector<std::int64_t> cursor(inc_offsets_.begin(),
                                    inc_offsets_.end() - 1);
+  // Walk pin ranges through the raw offsets: pins() asserts finalized_,
+  // which is not yet set here.
   for (EdgeId e = 0; e < num_edges(); ++e) {
-    for (VertexId v : pins(e)) {
+    const auto lo = pin_offsets_[static_cast<std::size_t>(e)];
+    const auto hi = pin_offsets_[static_cast<std::size_t>(e) + 1];
+    for (std::int64_t p = lo; p < hi; ++p) {
+      const VertexId v = pin_storage_[static_cast<std::size_t>(p)];
       inc_storage_[static_cast<std::size_t>(
           cursor[static_cast<std::size_t>(v)]++)] = e;
     }
   }
+  uid_ = next_structure_uid();
   finalized_ = true;
 }
 

@@ -43,13 +43,21 @@ class Hypergraph {
   void finalize();
   bool finalized() const { return finalized_; }
 
+  /// Process-unique structure id, assigned by finalize(); 0 while mutable
+  /// ("uncacheable"). WorkArena keys cached flow engines on it.
+  std::uint64_t uid() const { return finalized_ ? uid_ : 0; }
+
+  /// Pins of hyperedge e. Requires finalize(): before it, add_edge() is
+  /// still free to append and the spans would dangle on reallocation.
   std::span<const VertexId> pins(EdgeId e) const {
+    HT_DCHECK(finalized_);
     const auto lo = pin_offsets_[static_cast<std::size_t>(e)];
     const auto hi = pin_offsets_[static_cast<std::size_t>(e) + 1];
     return {pin_storage_.data() + lo, static_cast<std::size_t>(hi - lo)};
   }
 
   std::int32_t edge_size(EdgeId e) const {
+    HT_DCHECK(finalized_);
     return static_cast<std::int32_t>(
         pin_offsets_[static_cast<std::size_t>(e) + 1] -
         pin_offsets_[static_cast<std::size_t>(e)]);
@@ -77,10 +85,10 @@ class Hypergraph {
   Weight vertex_weight(VertexId v) const {
     return vertex_weights_[static_cast<std::size_t>(v)];
   }
-  void set_vertex_weight(VertexId v, Weight w) {
-    HT_CHECK(w >= 0.0);
-    vertex_weights_[static_cast<std::size_t>(v)] = w;
-  }
+  /// Allowed after finalize() (weights are not part of the CSR), but doing
+  /// so reassigns uid() so cached flow networks keyed on the old weights
+  /// are not served stale.
+  void set_vertex_weight(VertexId v, Weight w);
 
   std::int32_t max_edge_size() const;
   double avg_degree() const;
@@ -106,6 +114,7 @@ class Hypergraph {
   std::vector<VertexId> pin_storage_;
   std::vector<std::int64_t> inc_offsets_;
   std::vector<EdgeId> inc_storage_;
+  std::uint64_t uid_ = 0;
   bool finalized_ = false;
 };
 

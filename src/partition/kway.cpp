@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hypergraph/subset_view.hpp"
 #include "partition/fm_fast.hpp"
 #include "partition/unbalanced_kcut.hpp"
 
@@ -83,7 +84,10 @@ void recurse(const Hypergraph& h, const std::vector<VertexId>& vertices,
       out[static_cast<std::size_t>(v)] = first_part;
     return;
   }
-  const auto sub = ht::hypergraph::induced_subhypergraph(h, vertices);
+  // View of the piece; FM needs a concrete hypergraph, so this is a
+  // materialization boundary.
+  const ht::hypergraph::SubsetView view(h, vertices);
+  const auto sub = view.materialize();
   BisectionSolution bisection;
   if (sub.hypergraph.num_edges() == 0) {
     bisection.side.assign(vertices.size(), false);
@@ -96,7 +100,7 @@ void recurse(const Hypergraph& h, const std::vector<VertexId>& vertices,
   std::vector<VertexId> left, right;
   for (std::size_t i = 0; i < vertices.size(); ++i)
     (bisection.side[i] ? right : left)
-        .push_back(sub.old_of_new[i]);
+        .push_back(view.old_of(static_cast<VertexId>(i)));
   recurse(h, left, parts / 2, first_part, out, rng);
   recurse(h, right, parts / 2, first_part + parts / 2, out, rng);
 }
@@ -126,7 +130,8 @@ KWaySolution kway_peel(const Hypergraph& h, std::int32_t k, ht::Rng& rng) {
   std::vector<VertexId> remaining(static_cast<std::size_t>(n));
   for (VertexId v = 0; v < n; ++v) remaining[static_cast<std::size_t>(v)] = v;
   for (std::int32_t p = 0; p + 1 < k; ++p) {
-    const auto sub = ht::hypergraph::induced_subhypergraph(h, remaining);
+    const ht::hypergraph::SubsetView view(h, remaining);
+    const auto sub = view.materialize();
     std::vector<VertexId> peeled_local;
     if (sub.hypergraph.num_edges() == 0 ||
         static_cast<VertexId>(remaining.size()) <= per) {
@@ -138,8 +143,7 @@ KWaySolution kway_peel(const Hypergraph& h, std::int32_t k, ht::Rng& rng) {
     }
     std::vector<bool> peeled(remaining.size(), false);
     for (VertexId local : peeled_local) {
-      part[static_cast<std::size_t>(
-          sub.old_of_new[static_cast<std::size_t>(local)])] = p;
+      part[static_cast<std::size_t>(view.old_of(local))] = p;
       peeled[static_cast<std::size_t>(local)] = true;
     }
     std::vector<VertexId> next;

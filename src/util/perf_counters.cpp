@@ -18,6 +18,21 @@ void PerfCounters::note_queue_depth(std::size_t depth) {
   }
 }
 
+void PerfCounters::note_arena_bytes(std::size_t bytes) {
+  std::uint64_t current = peak_arena_bytes_.load(std::memory_order_relaxed);
+  while (bytes > current &&
+         !peak_arena_bytes_.compare_exchange_weak(
+             current, bytes, std::memory_order_relaxed)) {
+  }
+}
+
+double PerfCounters::arena_hit_rate() const {
+  const std::uint64_t hits = arena_hits();
+  const std::uint64_t total = hits + arena_misses();
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
 void PerfCounters::add_phase_time(const std::string& phase, double seconds) {
   std::scoped_lock lock(phase_mutex_);
   for (auto& [name, total] : phases_) {
@@ -40,6 +55,12 @@ void PerfCounters::reset() {
   max_flow_calls_.store(0, std::memory_order_relaxed);
   tasks_.store(0, std::memory_order_relaxed);
   max_queue_depth_.store(0, std::memory_order_relaxed);
+  arena_hits_.store(0, std::memory_order_relaxed);
+  arena_misses_.store(0, std::memory_order_relaxed);
+  flow_builds_.store(0, std::memory_order_relaxed);
+  flow_reuses_.store(0, std::memory_order_relaxed);
+  materializations_.store(0, std::memory_order_relaxed);
+  peak_arena_bytes_.store(0, std::memory_order_relaxed);
   std::scoped_lock lock(phase_mutex_);
   phases_.clear();
 }
@@ -49,6 +70,12 @@ std::string PerfCounters::report() const {
   os << "perf: pieces=" << pieces() << " max_flow_calls=" << max_flow_calls()
      << " pool_tasks=" << tasks() << " max_queue_depth=" << max_queue_depth()
      << "\n";
+  os << "perf: flow_builds=" << flow_builds()
+     << " flow_reuses=" << flow_reuses() << " arena_hits=" << arena_hits()
+     << " arena_misses=" << arena_misses() << " arena_hit_rate="
+     << arena_hit_rate() << "\n";
+  os << "perf: materializations=" << materializations()
+     << " peak_arena_bytes=" << peak_arena_bytes() << "\n";
   for (const auto& [name, seconds] : phase_times()) {
     os << "perf: phase " << name << " = " << seconds << " s (aggregate)\n";
   }

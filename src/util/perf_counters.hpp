@@ -36,6 +36,33 @@ class PerfCounters {
   /// Records an observed pool queue depth; keeps the maximum.
   void note_queue_depth(std::size_t depth);
 
+  /// WorkArena cache hit: a flow engine (or other keyed object) was reused
+  /// instead of rebuilt.
+  void add_arena_hit() {
+    arena_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// WorkArena cache miss: the object had to be built.
+  void add_arena_miss() {
+    arena_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// FlowNetwork arena constructed from scratch (cache miss or fresh-build
+  /// mode).
+  void add_flow_build() {
+    flow_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// FlowNetwork reset-and-reused for another max-flow call.
+  void add_flow_reuse() {
+    flow_reuses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A SubsetView materialized a concrete induced sub(hyper)graph (oracle
+  /// or contract() boundary).
+  void add_materialization() {
+    materializations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Records one thread's current arena footprint; keeps the maximum seen
+  /// on any single thread (peak per-thread scratch allocation).
+  void note_arena_bytes(std::size_t bytes);
+
   /// Accumulates wall time under a phase name (see PhaseTimer). Parallel
   /// sections add per-thread elapsed time, so a phase can exceed the
   /// process wall clock — read it as aggregate time spent in the phase.
@@ -53,6 +80,26 @@ class PerfCounters {
   std::uint64_t max_queue_depth() const {
     return max_queue_depth_.load(std::memory_order_relaxed);
   }
+  std::uint64_t arena_hits() const {
+    return arena_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t arena_misses() const {
+    return arena_misses_.load(std::memory_order_relaxed);
+  }
+  /// Arena hit rate in [0, 1]; 0 when no acquire happened.
+  double arena_hit_rate() const;
+  std::uint64_t flow_builds() const {
+    return flow_builds_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t flow_reuses() const {
+    return flow_reuses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t materializations() const {
+    return materializations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak_arena_bytes() const {
+    return peak_arena_bytes_.load(std::memory_order_relaxed);
+  }
   std::vector<std::pair<std::string, double>> phase_times() const;
 
   void reset();
@@ -65,6 +112,12 @@ class PerfCounters {
   std::atomic<std::uint64_t> max_flow_calls_{0};
   std::atomic<std::uint64_t> tasks_{0};
   std::atomic<std::uint64_t> max_queue_depth_{0};
+  std::atomic<std::uint64_t> arena_hits_{0};
+  std::atomic<std::uint64_t> arena_misses_{0};
+  std::atomic<std::uint64_t> flow_builds_{0};
+  std::atomic<std::uint64_t> flow_reuses_{0};
+  std::atomic<std::uint64_t> materializations_{0};
+  std::atomic<std::uint64_t> peak_arena_bytes_{0};
   mutable std::mutex phase_mutex_;
   std::vector<std::pair<std::string, double>> phases_;
 };

@@ -15,10 +15,13 @@
 #include "core/bisection.hpp"
 #include "cuttree/decomposition_tree.hpp"
 #include "cuttree/tree.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "flow/flow_network.hpp"
 #include "flow/gomory_hu.hpp"
 #include "flow/hypergraph_gomory_hu.hpp"
 #include "graph/generators.hpp"
 #include "hypergraph/generators.hpp"
+#include "partition/kway.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -77,6 +80,50 @@ TEST(Determinism, HypergraphGomoryHuAcrossThreadCounts) {
       one_vs_four([&h] { return ht::flow::hypergraph_gomory_hu(h); });
   EXPECT_EQ(serial.parent, parallel.parent);
   EXPECT_EQ(serial.parent_cut, parallel.parent_cut);
+}
+
+TEST(Determinism, VertexCutTreeViewPathAcrossThreadCounts) {
+  // Deep-recursion configuration: every wave runs SubsetView + the
+  // vertex-cut flow arena on worker threads (thread-local caches), so this
+  // pins the refactored view path, not just the top-level split.
+  ht::Rng rng(2024);
+  const auto g = ht::graph::gnp_connected(60, 5.0 / 60, rng);
+  ht::cuttree::VertexCutTreeOptions opt;
+  opt.threshold_override = 0.75;
+  auto [serial, parallel] = one_vs_four(
+      [&] { return ht::cuttree::build_vertex_cut_tree(g, opt); });
+  EXPECT_EQ(ht::cuttree::tree_signature(serial.tree),
+            ht::cuttree::tree_signature(parallel.tree));
+  EXPECT_DOUBLE_EQ(serial.separator_weight, parallel.separator_weight);
+  EXPECT_EQ(serial.num_pieces, parallel.num_pieces);
+}
+
+TEST(Determinism, GomoryHuIndependentOfFlowReuse) {
+  // The engine cache is a per-thread performance detail: turning it off
+  // (fresh FlowNetwork per query, the pre-refactor behaviour) must not
+  // move a byte, under either thread count.
+  ht::Rng rng(1313);
+  const auto g = ht::graph::gnp_connected(60, 6.0 / 60, rng);
+  auto [serial, parallel] = one_vs_four([&g] {
+    ht::flow::FlowReuseScope off(false);
+    return ht::flow::gomory_hu(g);
+  });
+  const auto reused = ht::flow::gomory_hu(g);
+  EXPECT_EQ(serial.parent, parallel.parent);
+  EXPECT_EQ(serial.parent_cut, parallel.parent_cut);
+  EXPECT_EQ(serial.parent, reused.parent);
+  EXPECT_EQ(serial.parent_cut, reused.parent_cut);
+}
+
+TEST(Determinism, KWayRecursiveBisectionAcrossRuns) {
+  // kway uses SubsetView at every recursion level; same seed, same part.
+  ht::Rng rng(31);
+  const auto h = ht::hypergraph::random_uniform(32, 64, 3, rng);
+  ht::Rng r1(5), r2(5);
+  const auto a = ht::partition::kway_recursive_bisection(h, 4, r1);
+  const auto b = ht::partition::kway_recursive_bisection(h, 4, r2);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_DOUBLE_EQ(a.cut, b.cut);
 }
 
 }  // namespace
