@@ -14,6 +14,8 @@
 #include "bench_common.hpp"
 #include "core/bisection.hpp"
 #include "hypergraph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/exact.hpp"
 #include "util/perf_counters.hpp"
 #include "util/rng.hpp"
@@ -164,12 +166,18 @@ void engine_counters() {
   std::cout << "identical bisection across thread counts: "
             << (identical ? "yes" : "NO") << "\n"
             << ht::PerfCounters::global().report();
+  std::cout << "metrics: " << ht::obs::MetricsRegistry::global().snapshot_json()
+            << "\n";
   ht::ThreadPool::reset_global();
 }
 
 }  // namespace
 
 int main() {
+  if (ht::obs::tracing_enabled()) {
+    std::cout << "tracing: enabled via HT_TRACE; Chrome trace-event JSON "
+                 "written at exit (open in ui.perfetto.dev)\n";
+  }
   ratio_to_exact();
   ratio_distribution();
   planted_recovery();

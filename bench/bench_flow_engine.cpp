@@ -7,7 +7,10 @@
 // time, max-flow calls, engine builds, and the arena hit rate. The outputs
 // are bit-identical either way (see Determinism.* / FlowEngine.* tests);
 // only the allocation profile moves. Results are written to
-// BENCH_flow_engine.json for the CI perf-smoke artifact.
+// BENCH_flow_engine.json for the CI perf-smoke artifact; every measurement
+// embeds a full metrics-registry snapshot, and a final probe checks that
+// disabled tracing costs < 2% of the measured workload (soft gate: the
+// result is reported, CI warns instead of failing on noisy runners).
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -20,6 +23,8 @@
 #include "flow/hypergraph_gomory_hu.hpp"
 #include "graph/generators.hpp"
 #include "hypergraph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/perf_counters.hpp"
 #include "util/rng.hpp"
 #include "util/work_arena.hpp"
@@ -33,6 +38,7 @@ struct Measurement {
   std::uint64_t flow_reuses = 0;
   double arena_hit_rate = 0.0;
   std::uint64_t peak_arena_bytes = 0;
+  std::string metrics_json;  // registry snapshot after the run
 };
 
 struct Section {
@@ -56,6 +62,7 @@ Measurement measure(Fn&& work) {
   m.flow_reuses = counters.flow_reuses();
   m.arena_hit_rate = counters.arena_hit_rate();
   m.peak_arena_bytes = counters.peak_arena_bytes();
+  m.metrics_json = ht::obs::MetricsRegistry::global().snapshot_json();
   return m;
 }
 
@@ -77,15 +84,59 @@ void append_json(std::string& out, const std::string& name,
   std::snprintf(buf, sizeof(buf),
                 "    \"%s\": {\"wall_ms\": %.3f, \"max_flow_calls\": %llu, "
                 "\"flow_builds\": %llu, \"flow_reuses\": %llu, "
-                "\"arena_hit_rate\": %.4f, \"peak_arena_bytes\": %llu}%s\n",
+                "\"arena_hit_rate\": %.4f, \"peak_arena_bytes\": %llu,\n"
+                "      \"metrics\": ",
                 name.c_str(), m.wall_ms,
                 static_cast<unsigned long long>(m.max_flow_calls),
                 static_cast<unsigned long long>(m.flow_builds),
                 static_cast<unsigned long long>(m.flow_reuses),
                 m.arena_hit_rate,
-                static_cast<unsigned long long>(m.peak_arena_bytes),
-                last ? "" : ",");
+                static_cast<unsigned long long>(m.peak_arena_bytes));
   out += buf;
+  out += m.metrics_json;
+  out += last ? "}\n" : "},\n";
+}
+
+/// The <2% contract for disabled tracing. Directly timing traced vs
+/// untraced wall clock drowns in run-to-run noise at this workload size,
+/// so the probe measures the two factors separately: (a) the per-span
+/// disabled cost from a tight construct/destruct loop, (b) the span count
+/// an *enabled* run of the workload records. overhead_pct is then
+/// spans * ns_per_span relative to the untraced wall time.
+struct OverheadReport {
+  double ns_per_span = 0.0;
+  std::uint64_t spans = 0;
+  double workload_ms = 0.0;
+  double overhead_pct = 0.0;
+};
+
+template <typename Fn>
+OverheadReport measure_disabled_overhead(Fn&& workload, double workload_ms) {
+  OverheadReport r;
+  r.workload_ms = workload_ms;
+  const bool was_enabled = ht::obs::tracing_enabled();
+  ht::obs::set_tracing_enabled(false);
+  constexpr int kProbeSpans = 1 << 21;
+  ht::Timer timer;
+  for (int i = 0; i < kProbeSpans; ++i) {
+    ht::obs::TraceSpan span("overhead.probe");
+    (void)span;
+  }
+  r.ns_per_span = timer.millis() * 1e6 / kProbeSpans;
+
+  auto& tracer = ht::obs::Tracer::global();
+  const std::size_t before = tracer.event_count();
+  ht::obs::set_tracing_enabled(true);
+  workload();
+  ht::obs::set_tracing_enabled(false);
+  r.spans = tracer.event_count() - before;
+  ht::obs::set_tracing_enabled(was_enabled);
+
+  if (workload_ms > 0.0) {
+    r.overhead_pct = static_cast<double>(r.spans) * r.ns_per_span /
+                     (workload_ms * 1e6) * 100.0;
+  }
+  return r;
 }
 
 }  // namespace
@@ -98,12 +149,12 @@ int main() {
 
   std::vector<Section> sections;
 
-  {
-    ht::Rng rng(1313);
-    const auto g = ht::graph::gnp_connected(160, 6.0 / 160, rng);
-    sections.push_back(run_section(
-        "gomory_hu", [&g] { (void)ht::flow::gomory_hu(g); }));
-  }
+  ht::Rng gh_rng(1313);
+  const auto gh_graph = ht::graph::gnp_connected(160, 6.0 / 160, gh_rng);
+  const auto gh_workload = [&gh_graph] {
+    (void)ht::flow::gomory_hu(gh_graph);
+  };
+  sections.push_back(run_section("gomory_hu", gh_workload));
   {
     ht::Rng rng(2024);
     const auto g = ht::graph::gnp_connected(140, 5.0 / 140, rng);
@@ -148,13 +199,34 @@ int main() {
                         : "gate: FAIL")
             << "\n";
 
+  const OverheadReport overhead =
+      measure_disabled_overhead(gh_workload, sections[0].reuse.wall_ms);
+  std::printf(
+      "trace overhead (disabled): %.2f ns/span x %llu spans over %.1f ms "
+      "= %.4f%% -> %s\n",
+      overhead.ns_per_span,
+      static_cast<unsigned long long>(overhead.spans), overhead.workload_ms,
+      overhead.overhead_pct,
+      overhead.overhead_pct < 2.0 ? "PASS (<2%, soft gate)"
+                                  : "WARN (>=2%, soft gate)");
+
   std::string json = "{\n";
-  for (std::size_t i = 0; i < sections.size(); ++i) {
-    const auto& s = sections[i];
+  for (const auto& s : sections) {
     json += "  \"" + s.name + "\": {\n";
     append_json(json, "reuse", s.reuse, false);
     append_json(json, "fresh", s.fresh, true);
-    json += i + 1 == sections.size() ? "  }\n" : "  },\n";
+    json += "  },\n";
+  }
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"trace_overhead\": {\"ns_per_span\": %.3f, "
+                  "\"spans\": %llu, \"workload_ms\": %.3f, "
+                  "\"overhead_pct\": %.5f}\n",
+                  overhead.ns_per_span,
+                  static_cast<unsigned long long>(overhead.spans),
+                  overhead.workload_ms, overhead.overhead_pct);
+    json += buf;
   }
   json += "}\n";
   if (std::FILE* f = std::fopen("BENCH_flow_engine.json", "w")) {

@@ -6,6 +6,7 @@
 #include "cuttree/tree_bisection.hpp"
 #include "cuttree/vertex_cut_tree.hpp"
 #include "hypergraph/subset_view.hpp"
+#include "obs/trace.hpp"
 #include "partition/graph_bisection.hpp"
 #include "partition/sparsest_cut.hpp"
 #include "partition/unbalanced_kcut.hpp"
@@ -41,6 +42,9 @@ Phase1Result phase1_peel(const Hypergraph& h, double threshold,
     std::vector<VertexId> small, large;
   };
   Phase1Result out;
+  ht::obs::TraceSpan span("theorem1.phase1_peel");
+  span.arg("n", h.num_vertices());
+  span.arg("threshold", threshold);
   ht::PhaseTimer phase("theorem1.phase1_peel");
   std::vector<std::vector<VertexId>> roots(1);
   roots[0].resize(static_cast<std::size_t>(h.num_vertices()));
@@ -90,6 +94,8 @@ Phase1Result phase1_peel(const Hypergraph& h, double threshold,
   };
   ht::parallel_wavefront<std::vector<VertexId>, PieceOutcome>(
       std::move(roots), seed, map, fold);
+  span.arg("pieces", out.pieces.size());
+  span.arg("cut_weight", out.cut_weight);
   return out;
 }
 
@@ -109,6 +115,9 @@ PieceProfile build_piece_profile(const Hypergraph& h,
   out.vertices = std::move(piece);
   const auto size = static_cast<std::int32_t>(out.vertices.size());
   const std::int32_t kmax = std::min(size, k_cap);
+  ht::obs::TraceSpan span("theorem1.piece_profile");
+  span.arg("piece_size", size);
+  span.arg("kmax", kmax);
   out.cost.assign(static_cast<std::size_t>(kmax) + 1, kHuge);
   out.sets.resize(static_cast<std::size_t>(kmax) + 1);
   out.cost[0] = 0.0;
@@ -196,6 +205,9 @@ std::vector<bool> phase2_dp(const Hypergraph& h,
   for (const auto& p : profiles)
     r_max += static_cast<std::int32_t>(p.cost.size()) - 1;
   r_max = std::min<std::int32_t>(r_max, n);
+  ht::obs::TraceSpan span("theorem1.phase2_dp");
+  span.arg("pieces", profiles.size());
+  span.arg("r_max", r_max);
 
   const auto s_states = static_cast<std::size_t>(half) + 1;
   const auto r_states = static_cast<std::size_t>(r_max) + 1;
@@ -260,7 +272,9 @@ std::vector<bool> phase2_dp(const Hypergraph& h,
       }
     }
   }
+  span.arg("feasible", best < kHuge ? 1 : 0);
   if (best >= kHuge) return {};
+  span.arg("best", best);
   if (dp_estimate != nullptr) *dp_estimate = best;
 
   // Backtrack.
@@ -369,14 +383,24 @@ BisectionReport bisect_theorem1(const Hypergraph& h,
     BisectionReport report;
     bool feasible = false;
   };
+  ht::obs::TraceSpan trace("theorem1.bisect");
+  trace.arg("n", n);
+  trace.arg("k_cap", k_cap);
+  trace.arg("guesses", guesses.size());
   std::vector<GuessOutcome> outcomes(guesses.size());
   ht::parallel_for(guesses.size(), [&](std::size_t gi) {
+    ht::obs::TraceSpan guess_span("theorem1.guess");
     const double guess = guesses[static_cast<std::size_t>(gi)];
     const double threshold = alpha * guess / k;
+    guess_span.arg("guess_index", gi);
+    guess_span.arg("opt_guess", guess);
+    guess_span.arg("threshold", threshold);
     const std::uint64_t peel_seed = ht::derive_seed(options.seed, 2 * gi);
     const std::uint64_t profile_seed =
         ht::derive_seed(options.seed, 2 * gi + 1);
     Phase1Result p1 = phase1_peel(h, threshold, peel_seed);
+    guess_span.arg("phase1_pieces", p1.pieces.size());
+    guess_span.arg("phase1_cut", p1.cut_weight);
     std::vector<PieceProfile> profiles(p1.pieces.size());
     {
       ht::PhaseTimer phase("theorem1.piece_profiles");
@@ -389,7 +413,9 @@ BisectionReport bisect_theorem1(const Hypergraph& h,
     ht::PhaseTimer phase("theorem1.phase2_dp");
     double dp_estimate = 0.0;
     std::vector<bool> side = phase2_dp(h, profiles, &dp_estimate);
+    guess_span.arg("feasible", side.empty() ? 0 : 1);
     if (side.empty()) return;  // infeasible under this guess's peeling
+    guess_span.arg("dp_estimate", dp_estimate);
     BisectionReport candidate =
         finish(h, std::move(side), "theorem1", options.fm_polish);
     candidate.opt_guess = guess;

@@ -6,6 +6,7 @@
 
 #include "graph/subset_view.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "obs/trace.hpp"
 #include "partition/sparsest_cut.hpp"
 #include "util/perf_counters.hpp"
 #include "util/wavefront.hpp"
@@ -62,6 +63,8 @@ Tree build_decomposition_tree(const Graph& g,
   HT_CHECK(g.finalized());
   const VertexId n = g.num_vertices();
   HT_CHECK(n >= 1);
+  ht::obs::TraceSpan trace("decomposition_tree");
+  trace.arg("n", n);
   ht::PhaseTimer phase("decomposition_tree.build");
 
   // Stage 1 — parallel: grow the laminar cluster family over the pool.
@@ -78,6 +81,8 @@ Tree build_decomposition_tree(const Graph& g,
     // Safe concurrent read: fold only appends records between waves.
     const std::vector<VertexId>& vertices =
         recs[static_cast<std::size_t>(rec_index)].vertices;
+    ht::obs::TraceSpan span("dtree.split_oracle");
+    span.arg("cluster_size", vertices.size());
     SplitOutcome result;
     if (static_cast<std::int32_t>(vertices.size()) <=
         std::max(options.leaf_cluster_size, 1)) {
@@ -85,6 +90,7 @@ Tree build_decomposition_tree(const Graph& g,
       result.leaf_cuts.reserve(vertices.size());
       for (VertexId v : vertices)
         result.leaf_cuts.push_back(singleton_cut(g, v));
+      span.arg("expand_leaves", 1);
       return result;
     }
 
@@ -136,6 +142,8 @@ Tree build_decomposition_tree(const Graph& g,
       out_part.vertices = std::move(part);
       result.parts.push_back(std::move(out_part));
     }
+    span.arg("expand_leaves", 0);
+    span.arg("parts", result.parts.size());
     return result;
   };
   const auto fold = [&](std::int32_t&& rec_index, SplitOutcome&& result,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/subset_view.hpp"
+#include "obs/trace.hpp"
 #include "partition/min_ratio_cut.hpp"
 #include "util/perf_counters.hpp"
 #include "util/wavefront.hpp"
@@ -44,6 +45,9 @@ VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
 
   VertexCutTreeResult out;
   out.threshold = threshold;
+  ht::obs::TraceSpan trace("vertex_cut_tree");
+  trace.arg("n", n);
+  trace.arg("threshold", threshold);
   ht::PhaseTimer phase("vertex_cut_tree.peel");
 
   // Independent-piece peeling over the pool. Each piece's oracle draws
@@ -59,6 +63,8 @@ VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
 
   const auto map = [&](const std::vector<VertexId>& piece,
                        ht::Rng& rng) -> PieceOutcome {
+    ht::obs::TraceSpan span("vct.piece_oracle");
+    span.arg("piece_size", piece.size());
     PieceOutcome result;
     if (piece.size() <= 1) {
       result.is_final = true;
@@ -75,10 +81,14 @@ VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
     } else {
       sep = ht::partition::min_ratio_vertex_cut(sub.graph, rng);
     }
+    if (sep.valid) span.arg("sparsity", sep.sparsity);
     if (!sep.valid || sep.sparsity >= threshold) {
+      span.arg("split", 0);
       result.is_final = true;
       return result;
     }
+    span.arg("split", 1);
+    span.arg("separator_size", sep.x.size());
     for (VertexId local : sep.x)
       result.separator.push_back(view.old_of(local));
     // Recurse on the connected components of piece \ X. (A and B are
@@ -131,6 +141,10 @@ VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
     }
   }
   tree.validate();
+
+  trace.arg("final_pieces", final_pieces.size());
+  trace.arg("separator_size", separator.size());
+  trace.arg("separator_weight", separator_weight);
 
   out.tree = std::move(tree);
   out.separator_vertices = std::move(separator);

@@ -6,6 +6,7 @@
 
 #include "flow/dinic.hpp"
 #include "flow/push_relabel.hpp"
+#include "obs/metrics.hpp"
 #include "util/perf_counters.hpp"
 
 namespace ht::flow {
@@ -19,6 +20,14 @@ static_assert(kInfiniteCapacity == PushRelabel<double>::kInfinity);
 namespace {
 
 std::atomic<bool> g_flow_reuse_enabled{true};
+
+/// Registered once; per-query augmenting-path counts land here so a
+/// metrics snapshot shows the flow-work distribution of a whole run.
+ht::obs::Histogram& augmenting_paths_histogram() {
+  static ht::obs::Histogram& h =
+      ht::obs::MetricsRegistry::global().histogram("flow.augmenting_paths");
+  return h;
+}
 
 }  // namespace
 
@@ -205,19 +214,24 @@ double FlowNetwork::dfs(NodeId v, double limit) {
 double FlowNetwork::max_flow() {
   HT_CHECK(source_ >= 0);
   double total = 0.0;
+  std::uint64_t paths = 0;
   while (bfs()) {
     std::copy(first_out_.begin(), first_out_.end(), iter_.begin());
     for (;;) {
       const double pushed = dfs(source_, kInfiniteCapacity);
       if (!positive(pushed)) break;
       total += pushed;
+      ++paths;
     }
   }
+  last_augmenting_paths_ = paths;
+  augmenting_paths_histogram().record(paths);
   return total;
 }
 
 double FlowNetwork::max_flow_push_relabel() {
   HT_CHECK(source_ >= 0);
+  last_augmenting_paths_ = 0;
   const auto n = static_cast<std::size_t>(num_nodes());
   height_.assign(n, 0);
   excess_.assign(n, 0.0);

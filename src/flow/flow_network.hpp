@@ -96,6 +96,13 @@ class FlowNetwork {
   }
   /// Number of reset() calls served so far (0 = never queried).
   std::uint64_t queries() const { return queries_; }
+  /// Augmenting paths pushed by the most recent max_flow() (Dinic) call.
+  /// Deterministic per query — reset() restores exact capacities, so the
+  /// same (network, terminals) always walks the same paths. 0 after
+  /// max_flow_push_relabel(), which does not augment path-by-path.
+  std::uint64_t last_augmenting_paths() const {
+    return last_augmenting_paths_;
+  }
 
   /// Restores every capacity to its build-time value (terminal arcs back
   /// to zero) in O(arcs) with no allocation. Must precede attach_*.
@@ -150,6 +157,7 @@ class FlowNetwork {
   // Per-query state.
   std::vector<double> cap_;
   std::uint64_t queries_ = 0;
+  std::uint64_t last_augmenting_paths_ = 0;
 
   // Solver scratch, reused across queries.
   std::vector<std::int32_t> level_;

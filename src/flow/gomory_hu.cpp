@@ -4,6 +4,7 @@
 
 #include "flow/flow_network.hpp"
 #include "flow/min_cut.hpp"
+#include "obs/trace.hpp"
 #include "util/perf_counters.hpp"
 #include "util/thread_pool.hpp"
 
@@ -52,6 +53,11 @@ GomoryHuTree gomory_hu(const Graph& g) {
   HT_CHECK(g.finalized());
   const VertexId n = g.num_vertices();
   HT_CHECK(n >= 2);
+  // One span per builder run. No per-batch spans: batch sizes follow the
+  // pool size, so they would break thread-count-invariant traces; the
+  // nested flow.min_edge_cut spans carry the per-flow detail.
+  ht::obs::TraceSpan trace("gomory_hu");
+  trace.arg("n", n);
   ht::PhaseTimer phase("gomory_hu.graph");
   GomoryHuTree tree;
   tree.root = 0;

@@ -4,6 +4,7 @@
 
 #include "flow/flow_network.hpp"
 #include "flow/min_cut.hpp"
+#include "obs/trace.hpp"
 #include "util/perf_counters.hpp"
 #include "util/thread_pool.hpp"
 
@@ -39,6 +40,11 @@ HypergraphGomoryHuTree hypergraph_gomory_hu(const Hypergraph& h) {
   HT_CHECK(h.finalized());
   const VertexId n = h.num_vertices();
   HT_CHECK(n >= 2);
+  // One span per builder run; no per-batch spans (batch sizes follow the
+  // pool size — see gomory_hu.cpp).
+  ht::obs::TraceSpan trace("gomory_hu.hypergraph");
+  trace.arg("n", n);
+  trace.arg("m", h.num_edges());
   ht::PhaseTimer phase("gomory_hu.hypergraph");
   HypergraphGomoryHuTree tree;
   tree.root = 0;

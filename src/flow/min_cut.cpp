@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "flow/flow_network.hpp"
+#include "obs/trace.hpp"
 #include "util/perf_counters.hpp"
 #include "util/work_arena.hpp"
 
@@ -52,6 +53,13 @@ FlowNetwork& acquire_network(std::uint32_t kind, std::uint64_t uid,
 EdgeCutResult min_edge_cut(const Graph& g, const std::vector<VertexId>& a,
                            const std::vector<VertexId>& b) {
   HT_CHECK(g.finalized());
+  // Span args stay schedule-independent: cut value and augmenting-path
+  // count are deterministic (reset() restores exact capacities), while
+  // whether the network was reused is thread-affinity-dependent and is
+  // reported through metrics only.
+  ht::obs::TraceSpan span("flow.min_edge_cut");
+  span.arg("a", a.size());
+  span.arg("b", b.size());
   PerfCounters::global().add_max_flow_call();
   check_disjoint_nonempty(a, b, g.num_vertices());
   const NodeId n = g.num_vertices();
@@ -78,12 +86,17 @@ EdgeCutResult min_edge_cut(const Graph& g, const std::vector<VertexId>& a,
       out.value += edge.weight;
     }
   }
+  span.arg("cut_value", out.value);
+  span.arg("augmenting_paths", net.last_augmenting_paths());
   return out;
 }
 
 VertexCutResult min_vertex_cut(const Graph& g, const std::vector<VertexId>& a,
                                const std::vector<VertexId>& b) {
   HT_CHECK(g.finalized());
+  ht::obs::TraceSpan span("flow.min_vertex_cut");
+  span.arg("a", a.size());
+  span.arg("b", b.size());
   PerfCounters::global().add_max_flow_call();
   check_disjoint_nonempty(a, b, g.num_vertices());
   const VertexId n = g.num_vertices();
@@ -108,6 +121,8 @@ VertexCutResult min_vertex_cut(const Graph& g, const std::vector<VertexId>& a,
       out.value += g.vertex_weight(v);
     }
   }
+  span.arg("cut_value", out.value);
+  span.arg("augmenting_paths", net.last_augmenting_paths());
   HT_DCHECK(vertex_cut_separates(g, out.cut_vertices, a, b));
   return out;
 }
@@ -116,6 +131,9 @@ HyperedgeCutResult min_hyperedge_cut(
     const Hypergraph& h, const std::vector<ht::hypergraph::VertexId>& a,
     const std::vector<ht::hypergraph::VertexId>& b) {
   HT_CHECK(h.finalized());
+  ht::obs::TraceSpan span("flow.min_hyperedge_cut");
+  span.arg("a", a.size());
+  span.arg("b", b.size());
   PerfCounters::global().add_max_flow_call();
   check_disjoint_nonempty(a, b, h.num_vertices());
   const auto n = h.num_vertices();
@@ -145,6 +163,8 @@ HyperedgeCutResult min_hyperedge_cut(
       out.value += h.edge_weight(e);
     }
   }
+  span.arg("cut_value", out.value);
+  span.arg("augmenting_paths", net.last_augmenting_paths());
   HT_DCHECK(hyperedge_cut_separates(h, out.cut_edges, a, b));
   return out;
 }

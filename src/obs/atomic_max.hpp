@@ -1,0 +1,26 @@
+// Lock-free monotone maximum over an atomic value.
+//
+// The CAS-max loop used to be hand-rolled in two places in
+// util/perf_counters.cpp (queue depth, arena bytes); it now lives here so
+// the metrics registry's gauges and histograms share the single audited
+// implementation.
+#pragma once
+
+#include <atomic>
+
+namespace ht::obs {
+
+/// Raises `target` to `value` if `value` is larger; no-op otherwise.
+/// Wait-free for the common no-raise case (one relaxed load), lock-free
+/// under contention. Returns the previous value.
+template <typename T>
+T atomic_fetch_max(std::atomic<T>& target, T value) {
+  T current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+  return current;
+}
+
+}  // namespace ht::obs

@@ -5,25 +5,27 @@
 
 namespace ht {
 
+namespace {
+
+obs::MetricsRegistry& registry() { return obs::MetricsRegistry::global(); }
+
+}  // namespace
+
+PerfCounters::PerfCounters()
+    : pieces_(registry().counter("engine.pieces")),
+      max_flow_calls_(registry().counter("flow.max_flow_calls")),
+      tasks_(registry().counter("pool.tasks")),
+      max_queue_depth_(registry().gauge("pool.max_queue_depth")),
+      arena_hits_(registry().counter("arena.hits")),
+      arena_misses_(registry().counter("arena.misses")),
+      flow_builds_(registry().counter("flow.builds")),
+      flow_reuses_(registry().counter("flow.reuses")),
+      materializations_(registry().counter("view.materializations")),
+      peak_arena_bytes_(registry().gauge("arena.peak_bytes")) {}
+
 PerfCounters& PerfCounters::global() {
   static PerfCounters counters;
   return counters;
-}
-
-void PerfCounters::note_queue_depth(std::size_t depth) {
-  std::uint64_t current = max_queue_depth_.load(std::memory_order_relaxed);
-  while (depth > current &&
-         !max_queue_depth_.compare_exchange_weak(
-             current, depth, std::memory_order_relaxed)) {
-  }
-}
-
-void PerfCounters::note_arena_bytes(std::size_t bytes) {
-  std::uint64_t current = peak_arena_bytes_.load(std::memory_order_relaxed);
-  while (bytes > current &&
-         !peak_arena_bytes_.compare_exchange_weak(
-             current, bytes, std::memory_order_relaxed)) {
-  }
 }
 
 double PerfCounters::arena_hit_rate() const {
@@ -46,21 +48,18 @@ void PerfCounters::add_phase_time(const std::string& phase, double seconds) {
 
 std::vector<std::pair<std::string, double>> PerfCounters::phase_times()
     const {
-  std::scoped_lock lock(phase_mutex_);
-  return phases_;
+  std::vector<std::pair<std::string, double>> out;
+  {
+    std::scoped_lock lock(phase_mutex_);
+    out = phases_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& l, const auto& r) { return l.first < r.first; });
+  return out;
 }
 
 void PerfCounters::reset() {
-  pieces_.store(0, std::memory_order_relaxed);
-  max_flow_calls_.store(0, std::memory_order_relaxed);
-  tasks_.store(0, std::memory_order_relaxed);
-  max_queue_depth_.store(0, std::memory_order_relaxed);
-  arena_hits_.store(0, std::memory_order_relaxed);
-  arena_misses_.store(0, std::memory_order_relaxed);
-  flow_builds_.store(0, std::memory_order_relaxed);
-  flow_reuses_.store(0, std::memory_order_relaxed);
-  materializations_.store(0, std::memory_order_relaxed);
-  peak_arena_bytes_.store(0, std::memory_order_relaxed);
+  registry().reset_all();
   std::scoped_lock lock(phase_mutex_);
   phases_.clear();
 }

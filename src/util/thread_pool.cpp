@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/perf_counters.hpp"
 
@@ -35,6 +36,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  // Span-context propagation: the task's spans must parent under the span
+  // that *enqueued* it (the logical recursion tree), not under whatever
+  // the stealing thread happens to be running. Only pay the wrapper when
+  // tracing is live.
+  if (obs::tracing_enabled()) {
+    task = [parent = obs::current_span(),
+            inner = std::move(task)]() mutable {
+      obs::ContextGuard context(parent);
+      inner();
+    };
+  }
   {
     std::unique_lock lock(mutex_);
     HT_CHECK(!stopping_);

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/perf_counters.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -45,30 +46,55 @@ inline Rng derive_stream(std::uint64_t seed, std::uint64_t index) {
 ///                                         emit(Item&&) enqueues a child
 ///
 /// Result must be default-constructible and movable.
+///
+/// Tracing: each item runs under a "wavefront.piece" span whose parent is
+/// the span of the fold() call that emitted it (roots parent under the
+/// caller's span). The recorded span tree therefore mirrors the logical
+/// recursion tree — which piece split into which — independent of the
+/// thread schedule. Spans opened inside map() nest under the item's piece
+/// span via the thread-local context.
 template <typename Item, typename Result, typename Map, typename Fold>
 void parallel_wavefront(std::vector<Item> roots, std::uint64_t seed,
                         Map&& map, Fold&& fold) {
   std::vector<Item> wave = std::move(roots);
   std::vector<Item> next;
+  // parents[i] is the logical parent span of wave[i]; span_ids[i] is the
+  // piece span recorded for it (0 when tracing is off).
+  std::vector<obs::SpanId> parents(wave.size(), obs::current_span());
+  std::vector<obs::SpanId> next_parents;
+  std::vector<obs::SpanId> span_ids;
   std::uint64_t next_index = 0;
-  const auto emit = [&next](Item&& child) {
+  std::uint64_t wave_number = 0;
+  obs::SpanId fold_parent = 0;
+  const auto emit = [&next, &next_parents, &fold_parent](Item&& child) {
     next.push_back(std::move(child));
+    next_parents.push_back(fold_parent);
   };
   while (!wave.empty()) {
     const std::size_t count = wave.size();
     const std::uint64_t base = next_index;
     next_index += count;
     std::vector<Result> results(count);
+    span_ids.assign(count, 0);
     parallel_for(count, [&](std::size_t i) {
+      obs::ContextGuard context(parents[i]);
+      obs::TraceSpan span("wavefront.piece");
+      span.arg("index", base + i);
+      span.arg("wave", wave_number);
+      span_ids[i] = span.id();
       Rng rng = derive_stream(seed, base + i);
       results[i] = map(static_cast<const Item&>(wave[i]), rng);
     });
     PerfCounters::global().add_pieces(count);
     next.clear();
+    next_parents.clear();
     for (std::size_t i = 0; i < count; ++i) {
+      fold_parent = span_ids[i];
       fold(std::move(wave[i]), std::move(results[i]), emit);
     }
     std::swap(wave, next);
+    std::swap(parents, next_parents);
+    ++wave_number;
   }
 }
 

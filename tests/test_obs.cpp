@@ -1,0 +1,555 @@
+// Observability layer: metrics registry, tracer, and the context
+// propagation that makes recorded span trees mirror the logical recursion
+// tree (not the thread schedule).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cuttree/vertex_cut_tree.hpp"
+#include "graph/generators.hpp"
+#include "gtest/gtest.h"
+#include "obs/atomic_max.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/perf_counters.hpp"
+#include "util/thread_pool.hpp"
+#include "util/wavefront.hpp"
+
+namespace {
+
+using ht::obs::SpanId;
+using ht::obs::TraceEvent;
+
+/// Enables tracing for a test scope with clean buffers; restores the
+/// disabled default and drops the recorded events on exit.
+class TracingOn {
+ public:
+  TracingOn() {
+    ht::ThreadPool::global().wait_idle();
+    ht::obs::Tracer::global().clear();
+    ht::obs::set_tracing_enabled(true);
+  }
+  ~TracingOn() {
+    ht::obs::set_tracing_enabled(false);
+    ht::ThreadPool::global().wait_idle();
+    ht::obs::Tracer::global().clear();
+  }
+};
+
+std::map<SpanId, TraceEvent> by_id(const std::vector<TraceEvent>& events) {
+  std::map<SpanId, TraceEvent> out;
+  for (const auto& ev : events) out[ev.id] = ev;
+  return out;
+}
+
+const TraceEvent* find_by_name(const std::vector<TraceEvent>& events,
+                               const std::string& name) {
+  for (const auto& ev : events)
+    if (name == ev.name) return &ev;
+  return nullptr;
+}
+
+/// Renders one event as "name|key=value|..." with doubles at full
+/// precision; used to compare multisets of (name, args) across runs.
+std::string event_signature(const TraceEvent& ev) {
+  std::ostringstream os;
+  os << ev.name;
+  for (const auto& a : ev.args) {
+    os << "|" << a.key << "=";
+    switch (a.kind) {
+      case ht::obs::TraceArg::Kind::kInt:
+        os << a.int_value;
+        break;
+      case ht::obs::TraceArg::Kind::kDouble:
+        os.precision(17);
+        os << a.double_value;
+        break;
+      case ht::obs::TraceArg::Kind::kString:
+        os << a.string_value;
+        break;
+    }
+  }
+  return os.str();
+}
+
+// --- Minimal JSON validator (objects/arrays/strings/numbers/literals).
+// The repo has no JSON dependency; this is enough to assert the exported
+// trace and metrics snapshots are well-formed (CI additionally runs
+// python3 -m json.tool on the real artifacts).
+
+struct JsonParser {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s.compare(i, n, lit) != 0) return false;
+    i += n;
+    return true;
+  }
+  bool string() {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') ++i;
+      ++i;
+    }
+    if (i >= s.size()) return false;
+    ++i;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+        ++i;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      eat_digits();
+    }
+    if (digits && i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+      bool exp_digits = false;
+      while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+        ++i;
+        exp_digits = true;
+      }
+      if (!exp_digits) return false;
+    }
+    return digits && i > start;
+  }
+  bool value() {  // NOLINT(misc-no-recursion)
+    ws();
+    if (i >= s.size()) return false;
+    if (s[i] == '{') {
+      ++i;
+      ws();
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return true;
+      }
+      for (;;) {
+        ws();
+        if (!string()) return false;
+        ws();
+        if (i >= s.size() || s[i] != ':') return false;
+        ++i;
+        if (!value()) return false;
+        ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      ws();
+      if (i >= s.size() || s[i] != '}') return false;
+      ++i;
+      return true;
+    }
+    if (s[i] == '[') {
+      ++i;
+      ws();
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      for (;;) {
+        if (!value()) return false;
+        ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      ws();
+      if (i >= s.size() || s[i] != ']') return false;
+      ++i;
+      return true;
+    }
+    if (s[i] == '"') return string();
+    if (literal("true") || literal("false") || literal("null")) return true;
+    return number();
+  }
+  bool parse() {
+    const bool ok = value();
+    ws();
+    return ok && i == s.size();
+  }
+};
+
+bool json_parses(const std::string& text) {
+  JsonParser p{text};
+  return p.parse();
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  auto& reg = ht::obs::MetricsRegistry::global();
+  auto& c = reg.counter("test.counter");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name -> same object (stable reference registration).
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+
+  auto& g = reg.gauge("test.gauge");
+  g.reset();
+  g.set(-5);
+  g.add(2);
+  EXPECT_EQ(g.value(), -3);
+  g.update_max(7);
+  g.update_max(3);
+  EXPECT_EQ(g.value(), 7);
+
+  auto& h = reg.histogram("test.hist");
+  h.reset();
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 1024ull}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_EQ(h.bucket(0), 1u);   // {0}
+  EXPECT_EQ(h.bucket(1), 1u);   // {1}
+  EXPECT_EQ(h.bucket(2), 2u);   // {2, 3}
+  EXPECT_EQ(h.bucket(11), 1u);  // [1024, 2047]
+  EXPECT_EQ(ht::obs::Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(ht::obs::Histogram::bucket_upper_bound(11), 2047u);
+}
+
+TEST(Metrics, AtomicFetchMaxUnderContention) {
+  std::atomic<std::int64_t> target{0};
+  ht::parallel_for(512, [&](std::size_t i) {
+    ht::obs::atomic_fetch_max(target, static_cast<std::int64_t>(i * 7));
+  });
+  EXPECT_EQ(target.load(), 511 * 7);
+  // Lower values never regress the max.
+  ht::obs::atomic_fetch_max<std::int64_t>(target, 5);
+  EXPECT_EQ(target.load(), 511 * 7);
+}
+
+TEST(Metrics, SnapshotJsonParsesAndSortsNames) {
+  auto& reg = ht::obs::MetricsRegistry::global();
+  reg.counter("test.zz").add(1);
+  reg.counter("test.aa").add(2);
+  reg.histogram("test.hist").record(9);
+  const std::string json = reg.snapshot_json();
+  EXPECT_TRUE(json_parses(json)) << json;
+  const auto pos_aa = json.find("\"test.aa\"");
+  const auto pos_zz = json.find("\"test.zz\"");
+  ASSERT_NE(pos_aa, std::string::npos);
+  ASSERT_NE(pos_zz, std::string::npos);
+  EXPECT_LT(pos_aa, pos_zz);  // std::map iteration = sorted names
+  EXPECT_NE(json.find("\"test.hist\""), std::string::npos);
+}
+
+TEST(Metrics, PerfCountersAreRegistryBacked) {
+  auto& pc = ht::PerfCounters::global();
+  auto& reg = ht::obs::MetricsRegistry::global();
+  pc.reset();
+  pc.add_flow_build();
+  pc.add_flow_build();
+  pc.add_pieces(3);
+  pc.note_queue_depth(17);
+  pc.note_queue_depth(4);
+  EXPECT_EQ(reg.counter("flow.builds").value(), pc.flow_builds());
+  EXPECT_EQ(reg.counter("engine.pieces").value(), 3u);
+  EXPECT_EQ(reg.gauge("pool.max_queue_depth").value(), 17);
+  pc.reset();  // resets the whole registry
+  EXPECT_EQ(reg.counter("flow.builds").value(), 0u);
+  EXPECT_EQ(pc.max_queue_depth(), 0u);
+}
+
+TEST(Metrics, PhaseTimesSortedByName) {
+  auto& pc = ht::PerfCounters::global();
+  pc.reset();
+  pc.add_phase_time("zeta.phase", 1.0);
+  pc.add_phase_time("alpha.phase", 2.0);
+  pc.add_phase_time("mid.phase", 3.0);
+  pc.add_phase_time("alpha.phase", 0.5);  // accumulates
+  const auto phases = pc.phase_times();
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].first, "alpha.phase");
+  EXPECT_DOUBLE_EQ(phases[0].second, 2.5);
+  EXPECT_EQ(phases[1].first, "mid.phase");
+  EXPECT_EQ(phases[2].first, "zeta.phase");
+  // report() renders phases in the same sorted order.
+  const std::string report = pc.report();
+  EXPECT_LT(report.find("alpha.phase"), report.find("mid.phase"));
+  EXPECT_LT(report.find("mid.phase"), report.find("zeta.phase"));
+  pc.reset();
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  ht::ThreadPool::global().wait_idle();
+  ht::obs::Tracer::global().clear();
+  ASSERT_FALSE(ht::obs::tracing_enabled());
+  const SpanId outer_context = ht::obs::current_span();
+  {
+    ht::obs::TraceSpan span("noop");
+    span.arg("k", 1);
+    span.arg("d", 2.0);
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.id(), 0u);
+    EXPECT_EQ(ht::obs::current_span(), outer_context);
+  }
+  EXPECT_EQ(ht::obs::Tracer::global().event_count(), 0u);
+}
+
+TEST(Trace, NestingAndArgsOnOneThread) {
+  TracingOn tracing;
+  {
+    ht::obs::TraceSpan outer("outer");
+    outer.arg("n", 42);
+    outer.arg("ratio", 0.5);
+    outer.arg("label", "abc");
+    EXPECT_EQ(ht::obs::current_span(), outer.id());
+    {
+      ht::obs::TraceSpan inner("inner");
+      EXPECT_EQ(ht::obs::current_span(), inner.id());
+    }
+    EXPECT_EQ(ht::obs::current_span(), outer.id());
+  }
+  EXPECT_EQ(ht::obs::current_span(), 0u);
+
+  const auto events = ht::obs::Tracer::global().collect();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = find_by_name(events, "outer");
+  const TraceEvent* inner = find_by_name(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_GE(outer->dur_us, inner->dur_us);
+  ASSERT_EQ(outer->args.size(), 3u);
+  EXPECT_STREQ(outer->args[0].key, "n");
+  EXPECT_EQ(outer->args[0].int_value, 42);
+  EXPECT_EQ(outer->args[1].kind, ht::obs::TraceArg::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(outer->args[1].double_value, 0.5);
+  EXPECT_EQ(outer->args[2].string_value, "abc");
+}
+
+TEST(Trace, ContextPropagatesAcrossPoolSubmit) {
+  TracingOn tracing;
+  SpanId outer_id = 0;
+  SpanId inner_id = 0;
+  {
+    ht::obs::TraceSpan outer("submit.outer");
+    outer_id = outer.id();
+    auto fut = ht::ThreadPool::global().submit([] {
+      ht::obs::TraceSpan inner("submit.inner");
+      return inner.id();
+    });
+    inner_id = fut.get();
+  }
+  ht::ThreadPool::global().wait_idle();
+  const auto events = ht::obs::Tracer::global().collect();
+  const auto ids = by_id(events);
+  ASSERT_TRUE(ids.count(inner_id));
+  // The task's span parents under the *enqueuing* span even though it may
+  // have run on a different (stealing) thread.
+  EXPECT_EQ(ids.at(inner_id).parent, outer_id);
+  ASSERT_TRUE(ids.count(outer_id));
+  EXPECT_EQ(ids.at(outer_id).parent, 0u);
+}
+
+TEST(Trace, WavefrontSpanTreeMatchesLogicalRecursion) {
+  // Items are heap-style labels: label L at depth d splits into 2L and
+  // 2L+1 until depth 3 — a complete binary recursion tree with 15 items.
+  // The recorded piece spans must reproduce exactly that tree via parent
+  // ids, regardless of which threads ran which items.
+  struct Item {
+    int label = 0;
+    int depth = 0;
+  };
+  TracingOn tracing;
+  ht::obs::TraceSpan root("test.root");
+  const SpanId root_id = root.id();
+  ht::parallel_wavefront<Item, int>(
+      {Item{1, 0}}, 7,
+      [](const Item& item, ht::Rng&) {
+        ht::obs::TraceSpan span("test.item");
+        span.arg("label", item.label);
+        return item.label;
+      },
+      [](Item&& item, int&&, const auto& emit) {
+        if (item.depth < 3) {
+          emit(Item{2 * item.label, item.depth + 1});
+          emit(Item{2 * item.label + 1, item.depth + 1});
+        }
+      });
+  const auto events = ht::obs::Tracer::global().collect();
+  const auto ids = by_id(events);
+
+  // piece_of[label] = the wavefront.piece span that processed this label
+  // (found through the test.item span recorded inside it).
+  std::map<int, SpanId> piece_of;
+  for (const auto& ev : events) {
+    if (std::string(ev.name) != "test.item") continue;
+    ASSERT_EQ(ev.args.size(), 1u);
+    const int label = static_cast<int>(ev.args[0].int_value);
+    ASSERT_TRUE(ids.count(ev.parent)) << "test.item has no parent span";
+    EXPECT_STREQ(ids.at(ev.parent).name, "wavefront.piece");
+    piece_of[label] = ev.parent;
+  }
+  ASSERT_EQ(piece_of.size(), 15u);
+  // The root item belongs to the caller's span; every other item's piece
+  // span parents under the piece span of the label that emitted it.
+  EXPECT_EQ(ids.at(piece_of.at(1)).parent, root_id);
+  for (const auto& [label, piece] : piece_of) {
+    if (label == 1) continue;
+    EXPECT_EQ(ids.at(piece).parent, piece_of.at(label / 2))
+        << "label " << label << " not parented under label " << label / 2;
+  }
+}
+
+TEST(Trace, VertexCutTreeSpanTreeIsRootedAndWellFormed) {
+  TracingOn tracing;
+  ht::Rng rng(4242);
+  const auto g = ht::graph::gnp_connected(60, 5.0 / 60, rng);
+  ht::cuttree::VertexCutTreeOptions opt;
+  opt.threshold_override = 0.75;  // force real recursion
+  (void)ht::cuttree::build_vertex_cut_tree(g, opt);
+  ht::ThreadPool::global().wait_idle();
+
+  const auto events = ht::obs::Tracer::global().collect();
+  const auto ids = by_id(events);
+  const TraceEvent* root = find_by_name(events, "vertex_cut_tree");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent, 0u);
+
+  std::size_t pieces = 0, oracles = 0, flows = 0;
+  for (const auto& ev : events) {
+    // Every span's parent chain reaches the top without dangling ids.
+    SpanId cursor = ev.id;
+    int hops = 0;
+    while (cursor != 0) {
+      ASSERT_TRUE(ids.count(cursor)) << "dangling parent id for " << ev.name;
+      cursor = ids.at(cursor).parent;
+      ASSERT_LT(++hops, 64) << "parent cycle for " << ev.name;
+    }
+    const std::string name = ev.name;
+    if (name == "wavefront.piece") {
+      ++pieces;
+      const TraceEvent& parent = ids.at(ev.parent);
+      // Wave-0 pieces hang off the builder span; deeper pieces hang off
+      // the piece that emitted them.
+      const std::string parent_name = parent.name;
+      EXPECT_TRUE(parent_name == "vertex_cut_tree" ||
+                  parent_name == "wavefront.piece")
+          << parent_name;
+    } else if (name == "vct.piece_oracle") {
+      ++oracles;
+      EXPECT_STREQ(ids.at(ev.parent).name, "wavefront.piece");
+    } else if (name == "flow.min_vertex_cut") {
+      ++flows;
+    }
+  }
+  EXPECT_GT(pieces, 1u);        // the threshold forces at least one split
+  EXPECT_EQ(pieces, oracles);   // one oracle span per piece
+  EXPECT_GT(flows, 0u);         // the spectral oracle ran real flows
+}
+
+TEST(Trace, SameSpanMultisetForOneAndFourThreads) {
+  // The logical span tree (names + args) must be identical for any thread
+  // count; only ids/timestamps/thread assignment may differ. Uses the
+  // vertex cut tree: its oracle fan-out is fixed per piece (unlike
+  // Gomory-Hu speculation, whose batch size follows the pool size).
+  ht::Rng rng(777);
+  const auto g = ht::graph::gnp_connected(48, 5.0 / 48, rng);
+  ht::cuttree::VertexCutTreeOptions opt;
+  opt.threshold_override = 0.6;
+  opt.seed = 99;
+
+  const auto run = [&](std::size_t threads) {
+    ht::ThreadPool::reset_global(threads);
+    ht::obs::Tracer::global().clear();
+    ht::obs::set_tracing_enabled(true);
+    (void)ht::cuttree::build_vertex_cut_tree(g, opt);
+    ht::ThreadPool::global().wait_idle();
+    ht::obs::set_tracing_enabled(false);
+    const auto events = ht::obs::Tracer::global().collect();
+    ht::obs::Tracer::global().clear();
+    std::vector<std::string> signatures;
+    signatures.reserve(events.size());
+    for (const auto& ev : events) signatures.push_back(event_signature(ev));
+    std::sort(signatures.begin(), signatures.end());
+    return signatures;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ht::ThreadPool::reset_global();
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Trace, ChromeTraceJsonParsesAndCarriesSpanIds) {
+  TracingOn tracing;
+  {
+    ht::obs::TraceSpan outer("json.outer");
+    outer.arg("n", 7);
+    outer.arg("weird", "quote\"backslash\\end");
+    ht::obs::TraceSpan inner("json.inner");
+    inner.arg("ratio", 0.25);
+  }
+  const std::string json = ht::obs::Tracer::global().chrome_trace_json();
+  EXPECT_TRUE(json_parses(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\""), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"backslash\\\\end"), std::string::npos);
+
+  // A traced bench run must also produce a loadable file end-to-end.
+  const std::string path = ::testing::TempDir() + "ht_trace_test.json";
+  ASSERT_TRUE(ht::obs::Tracer::global().write_chrome_trace(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    contents.append(buf, got);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, json);
+}
+
+TEST(Trace, EnableMidSpanNeverCorruptsContext) {
+  // A span constructed while tracing is off stays inactive even if
+  // tracing flips on before its destructor; the context is untouched.
+  ht::ThreadPool::global().wait_idle();
+  ht::obs::Tracer::global().clear();
+  {
+    ht::obs::TraceSpan span("flip");
+    ht::obs::set_tracing_enabled(true);
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(ht::obs::current_span(), 0u);
+    ht::obs::set_tracing_enabled(false);
+  }
+  EXPECT_EQ(ht::obs::Tracer::global().event_count(), 0u);
+  EXPECT_EQ(ht::obs::current_span(), 0u);
+}
+
+}  // namespace
