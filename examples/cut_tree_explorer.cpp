@@ -8,12 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "cuttree/quality.hpp"
-#include "cuttree/vertex_cut_tree.hpp"
-#include "flow/min_cut.hpp"
-#include "graph/generators.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
+#include "ht/hypertree.hpp"
 
 int main(int argc, char** argv) {
   const std::int32_t rows = argc > 1 ? std::atoi(argv[1]) : 6;
@@ -23,9 +18,10 @@ int main(int argc, char** argv) {
   std::cout << "graph: " << g.debug_string() << " (" << rows << "x" << cols
             << " grid)\n";
 
+  ht::Solver solver;
   ht::cuttree::VertexCutTreeOptions options;
   options.threshold_override = 0.4;  // force visible decomposition
-  const auto built = ht::cuttree::build_vertex_cut_tree(g, options);
+  const auto built = *solver.build_vertex_cut_tree(g, options);
   std::cout << "tree: " << built.tree.num_nodes() << " nodes, "
             << built.num_pieces << " pieces, separator weight "
             << built.separator_weight << " (threshold " << built.threshold

@@ -12,10 +12,7 @@
 #include <iostream>
 #include <string>
 
-#include "cuttree/dot.hpp"
-#include "cuttree/vertex_cut_tree.hpp"
-#include "graph/generators.hpp"
-#include "hypergraph/generators.hpp"
+#include "ht/hypertree.hpp"
 
 namespace {
 

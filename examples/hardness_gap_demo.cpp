@@ -7,11 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "hardness/dense_vs_random.hpp"
-#include "hypergraph/generators.hpp"
-#include "partition/mku.hpp"
-#include "reduction/mku_bisection.hpp"
-#include "util/rng.hpp"
+#include "ht/hypertree.hpp"
 
 int main(int argc, char** argv) {
   const std::int32_t n = argc > 1 ? std::atoi(argv[1]) : 150;

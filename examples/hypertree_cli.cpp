@@ -2,21 +2,20 @@
 // partition it, print the assignment.
 //
 //   $ ./hypertree_cli <file.hmetis> [--algo=theorem1|cuttree|smalledges|fm]
-//                     [--k=2] [--seed=42] [--quiet]
+//                     [--k=2] [--seed=42] [--deadline-ms=N] [--quiet]
 //
 // With --k > 2 the algorithm choice applies to the recursive-bisection
 // engine is ignored and the FM-based recursive bisection is used.
+// --deadline-ms runs the bisection as an anytime computation: on expiry
+// the best-so-far feasible partition is printed, with its stop status.
 // Output: one line per vertex with its part id, then a summary line
 //   # cut=<delta_H> connectivity=<lambda-1> n=<n> m=<m> k=<k>
-#include <cstring>
-#include <fstream>
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
-#include "core/bisection.hpp"
-#include "hypergraph/io.hpp"
-#include "partition/kway.hpp"
-#include "util/rng.hpp"
+#include "ht/hypertree.hpp"
 
 namespace {
 
@@ -25,6 +24,7 @@ struct Options {
   std::string algo = "theorem1";
   std::int32_t k = 2;
   std::uint64_t seed = 42;
+  std::int64_t deadline_ms = 0;
   bool quiet = false;
 };
 
@@ -37,6 +37,8 @@ bool parse(int argc, char** argv, Options& out) {
       out.k = std::atoi(arg.c_str() + 4);
     } else if (arg.rfind("--seed=", 0) == 0) {
       out.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      out.deadline_ms = std::atoll(arg.c_str() + 14);
     } else if (arg == "--quiet") {
       out.quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -56,68 +58,66 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, options)) {
     std::cerr << "usage: hypertree_cli <file.hmetis> "
                  "[--algo=theorem1|cuttree|smalledges|fm] [--k=K] "
-                 "[--seed=S] [--quiet]\n";
+                 "[--seed=S] [--deadline-ms=N] [--quiet]\n";
     return 2;
   }
-  ht::hypergraph::Hypergraph h;
-  try {
-    h = ht::hypergraph::read_hmetis_file(options.path);
-  } catch (const std::exception& e) {
-    std::cerr << "failed to read " << options.path << ": " << e.what()
-              << "\n";
+  auto parsed = ht::Solver::read_hmetis(options.path);
+  if (!parsed.has_value()) {
+    std::cerr << "failed to read " << options.path << ": "
+              << parsed.status().to_string() << "\n";
     return 1;
   }
+  const ht::hypergraph::Hypergraph& h = *parsed;
+
+  ht::RunContext ctx = ht::RunContext::FromEnv();
+  ctx.with_seed(options.seed);
+  if (options.deadline_ms > 0)
+    ctx.with_deadline_after(std::chrono::milliseconds(options.deadline_ms));
+  ht::Solver solver(ctx);
 
   std::vector<std::int32_t> part(
       static_cast<std::size_t>(h.num_vertices()), 0);
   double cut = 0.0, connectivity = 0.0;
-  try {
-    if (options.k == 2) {
-      if (h.num_vertices() % 2 != 0) {
-        std::cerr << "bisection needs an even number of vertices\n";
-        return 1;
-      }
-      ht::core::BisectionReport report;
-      if (options.algo == "theorem1") {
-        ht::core::Theorem1Options t;
-        t.seed = options.seed;
-        report = ht::core::bisect_theorem1(h, t);
-      } else if (options.algo == "cuttree") {
-        ht::core::CutTreeBisectionOptions t;
-        t.seed = options.seed;
-        report = ht::core::bisect_via_cut_tree(h, t);
-      } else if (options.algo == "smalledges") {
-        ht::core::SmallEdgeOptions t;
-        t.seed = options.seed;
-        report = ht::core::bisect_small_edges(h, t);
-      } else if (options.algo == "fm") {
-        ht::Rng rng(options.seed);
-        report = ht::core::bisect_fm_baseline(h, rng);
-      } else {
-        std::cerr << "unknown --algo=" << options.algo << "\n";
-        return 2;
-      }
-      for (std::size_t v = 0; v < part.size(); ++v)
-        part[v] = report.solution.side[v] ? 1 : 0;
-      cut = report.solution.cut;
-      connectivity = cut;
-    } else {
-      if (h.num_vertices() % options.k != 0) {
-        std::cerr << "k must divide n for balanced partitioning\n";
-        return 1;
-      }
-      ht::Rng rng(options.seed);
-      const auto sol =
-          (options.k & (options.k - 1)) == 0
-              ? ht::partition::kway_recursive_bisection(h, options.k, rng)
-              : ht::partition::kway_peel(h, options.k, rng);
-      part = sol.part;
-      cut = sol.cut;
-      connectivity = sol.connectivity;
+  std::string status = "OK";
+  if (options.k == 2) {
+    if (h.num_vertices() % 2 != 0) {
+      std::cerr << "bisection needs an even number of vertices\n";
+      return 1;
     }
-  } catch (const std::exception& e) {
-    std::cerr << "partitioning failed: " << e.what() << "\n";
-    return 1;
+    ht::StatusOr<ht::core::BisectionReport> report;
+    if (options.algo == "theorem1") {
+      report = solver.bisect(h);
+    } else if (options.algo == "cuttree") {
+      report = solver.bisect_via_cut_tree(h);
+    } else if (options.algo == "smalledges") {
+      ht::core::SmallEdgeOptions t;
+      t.seed = options.seed;
+      report = ht::core::bisect_small_edges(h, t);
+    } else if (options.algo == "fm") {
+      ht::Rng rng(options.seed);
+      report = ht::core::bisect_fm_baseline(h, rng);
+    } else {
+      std::cerr << "unknown --algo=" << options.algo << "\n";
+      return 2;
+    }
+    for (std::size_t v = 0; v < part.size(); ++v)
+      part[v] = report->solution.side[v] ? 1 : 0;
+    cut = report->solution.cut;
+    connectivity = cut;
+    status = report->status.code_name();
+  } else {
+    if (h.num_vertices() % options.k != 0) {
+      std::cerr << "k must divide n for balanced partitioning\n";
+      return 1;
+    }
+    ht::Rng rng(options.seed);
+    const auto sol =
+        (options.k & (options.k - 1)) == 0
+            ? ht::partition::kway_recursive_bisection(h, options.k, rng)
+            : ht::partition::kway_peel(h, options.k, rng);
+    part = sol.part;
+    cut = sol.cut;
+    connectivity = sol.connectivity;
   }
 
   if (!options.quiet) {
@@ -126,6 +126,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "# cut=" << cut << " connectivity=" << connectivity
             << " n=" << h.num_vertices() << " m=" << h.num_edges()
-            << " k=" << options.k << " algo=" << options.algo << "\n";
+            << " k=" << options.k << " algo=" << options.algo
+            << " status=" << status << "\n";
   return 0;
 }

@@ -2,14 +2,13 @@
 //
 //   $ ./quickstart
 //
-// Walks through the library's core surface: the Hypergraph builder, exact
-// cut evaluation, the Theorem 1 approximation algorithm, the Corollary 3
-// cut-tree pipeline, and the FM baseline.
+// Walks through the public surface: the Hypergraph builder, the
+// ht::Solver facade (Theorem 1 approximation and the Corollary 3
+// cut-tree pipeline, both with anytime StatusOr results), and the FM
+// baseline.
 #include <iostream>
 
-#include "core/bisection.hpp"
-#include "hypergraph/hypergraph.hpp"
-#include "util/rng.hpp"
+#include "ht/hypertree.hpp"
 
 int main() {
   // A hypergraph with two obvious communities {0..3} and {4..7} and one
@@ -26,15 +25,21 @@ int main() {
 
   std::cout << "instance: " << h.debug_string() << "\n\n";
 
+  // One Solver, one run configuration. The default context has no
+  // deadline; ctx.with_deadline_after(...) / with_cancel(...) would turn
+  // every call below into an anytime run.
+  ht::Solver solver;
+
   // 1. The paper's Theorem 1 algorithm (sparsest-cut peeling + piece DP).
-  const auto t1 = ht::core::bisect_theorem1(h);
-  std::cout << "theorem 1 bisection cut      = " << t1.solution.cut
-            << "  (OPT guess " << t1.opt_guess << ", "
-            << t1.phase1_pieces << " pieces)\n";
+  const auto t1 = solver.bisect(h);
+  std::cout << "theorem 1 bisection cut      = " << t1->solution.cut
+            << "  (OPT guess " << t1->opt_guess << ", "
+            << t1->phase1_pieces << " pieces, status "
+            << t1.status().code_name() << ")\n";
 
   // 2. Corollary 3: star expansion -> vertex cut tree -> balanced tree DP.
-  const auto c3 = ht::core::bisect_via_cut_tree(h);
-  std::cout << "cut-tree (Cor. 3) bisection  = " << c3.solution.cut << "\n";
+  const auto c3 = solver.bisect_via_cut_tree(h);
+  std::cout << "cut-tree (Cor. 3) bisection  = " << c3->solution.cut << "\n";
 
   // 3. The practitioner baseline: multi-start Fiduccia–Mattheyses.
   ht::Rng rng(42);
@@ -44,7 +49,7 @@ int main() {
   // All three should discover the planted structure: cut = 1 (the bridge).
   std::cout << "sides found by theorem 1: ";
   for (ht::hypergraph::VertexId v = 0; v < h.num_vertices(); ++v)
-    std::cout << (t1.solution.side[static_cast<std::size_t>(v)] ? 'B' : 'A');
+    std::cout << (t1->solution.side[static_cast<std::size_t>(v)] ? 'B' : 'A');
   std::cout << "\n";
   return 0;
 }

@@ -11,12 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/bisection.hpp"
-#include "hypergraph/generators.hpp"
-#include "reduction/clique_expansion.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
+#include "ht/hypertree.hpp"
 
 int main(int argc, char** argv) {
   const std::int32_t n = argc > 1 ? std::atoi(argv[1]) : 128;

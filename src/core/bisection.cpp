@@ -13,6 +13,7 @@
 #include "reduction/clique_expansion.hpp"
 #include "reduction/star_expansion.hpp"
 #include "util/perf_counters.hpp"
+#include "util/run_context.hpp"
 #include "util/wavefront.hpp"
 
 namespace ht::core {
@@ -54,7 +55,9 @@ Phase1Result phase1_peel(const Hypergraph& h, double threshold,
   const auto map = [&](const std::vector<VertexId>& piece,
                        ht::Rng& rng) -> PieceOutcome {
     PieceOutcome result;
-    if (piece.size() < 2) {
+    // A piece mapped after the run stopped skips its oracle: the fold loop
+    // drains it into a final piece anyway.
+    if (piece.size() < 2 || ht::run_stopped()) {
       result.is_final = true;
       return result;
     }
@@ -92,8 +95,15 @@ Phase1Result phase1_peel(const Hypergraph& h, double threshold,
     emit(std::move(result.small));
     emit(std::move(result.large));
   };
-  ht::parallel_wavefront<std::vector<VertexId>, PieceOutcome>(
-      std::move(roots), seed, map, fold);
+  // Early stop: pieces still queued become final pieces — coarser peeling,
+  // but phase 2 still sees a full partition of the vertex set.
+  const auto drain = [&](std::vector<VertexId>&& piece) {
+    if (!piece.empty()) out.pieces.push_back(std::move(piece));
+  };
+  const ht::Status status =
+      ht::parallel_wavefront<std::vector<VertexId>, PieceOutcome>(
+          std::move(roots), seed, map, fold, drain);
+  span.arg("stopped", status.ok() ? 0 : 1);
   span.arg("pieces", out.pieces.size());
   span.arg("cut_weight", out.cut_weight);
   return out;
@@ -122,6 +132,18 @@ PieceProfile build_piece_profile(const Hypergraph& h,
   out.sets.resize(static_cast<std::size_t>(kmax) + 1);
   out.cost[0] = 0.0;
   if (kmax == 0) return out;
+  if (ht::run_stopped()) {
+    // The run already latched a stop: skip the k-cut oracle and return the
+    // cheapest valid profile — keep the piece whole (k = 0), or remove it
+    // entirely when the cap allows. The DP stays feasible because k = 0 on
+    // either side is always offered.
+    if (kmax == size) {
+      out.cost[static_cast<std::size_t>(size)] = 0.0;
+      out.sets[static_cast<std::size_t>(size)] = out.vertices;
+    }
+    span.arg("stopped", 1);
+    return out;
+  }
   // One view, one materialization for the whole profile: both the k-cut
   // oracle and the gap-filling loop below read the same induced copy
   // (previously the loop rebuilt it per missing k).
@@ -220,11 +242,21 @@ std::vector<bool> phase2_dp(const Hypergraph& h,
   std::vector<std::vector<DpChoice>> choices(profiles.size());
 
   for (std::size_t i = 0; i < profiles.size(); ++i) {
+    // Bail between rows once the run stops: the caller falls back to a
+    // trivial feasible partition, so finishing the table would be wasted.
+    if (ht::run_stopped()) {
+      span.arg("stopped", 1);
+      return {};
+    }
     const auto& prof = profiles[i];
     const auto piece_size = static_cast<std::int32_t>(prof.vertices.size());
     std::vector<double> next(s_states * r_states, kHuge);
     choices[i].assign(s_states * r_states, DpChoice{});
     for (std::size_t r = 0; r < r_states; ++r) {
+      if (ht::run_stopped()) {
+        span.arg("stopped", 1);
+        return {};
+      }
       for (std::size_t s = 0; s < s_states; ++s) {
         const double base = dp[at(s, r)];
         if (base >= kHuge) continue;
@@ -389,6 +421,7 @@ BisectionReport bisect_theorem1(const Hypergraph& h,
   trace.arg("guesses", guesses.size());
   std::vector<GuessOutcome> outcomes(guesses.size());
   ht::parallel_for(guesses.size(), [&](std::size_t gi) {
+    if (ht::run_stopped()) return;  // outcome stays infeasible
     ht::obs::TraceSpan guess_span("theorem1.guess");
     const double guess = guesses[static_cast<std::size_t>(gi)];
     const double threshold = alpha * guess / k;
@@ -416,8 +449,8 @@ BisectionReport bisect_theorem1(const Hypergraph& h,
     guess_span.arg("feasible", side.empty() ? 0 : 1);
     if (side.empty()) return;  // infeasible under this guess's peeling
     guess_span.arg("dp_estimate", dp_estimate);
-    BisectionReport candidate =
-        finish(h, std::move(side), "theorem1", options.fm_polish);
+    BisectionReport candidate = finish(h, std::move(side), "theorem1",
+                                       options.fm_polish && !ht::run_stopped());
     candidate.opt_guess = guess;
     candidate.phase1_pieces = static_cast<std::int32_t>(profiles.size());
     candidate.phase1_cut = p1.cut_weight;
@@ -433,8 +466,19 @@ BisectionReport bisect_theorem1(const Hypergraph& h,
       best = std::move(outcome.report);
     }
   }
+  ht::RunState* run = ht::current_run_state();
+  if (!best.solution.valid && run != nullptr && run->stopped()) {
+    // The stop hit before any guess finished. Graceful degradation: return
+    // the trivial balanced partition (first half of the vertex order on
+    // side 1) — always feasible, tagged below with the stop status.
+    std::vector<bool> side(static_cast<std::size_t>(n), false);
+    for (VertexId v = 0; v < n / 2; ++v)
+      side[static_cast<std::size_t>(v)] = true;
+    best = finish(h, std::move(side), "theorem1", false);
+  }
   HT_CHECK_MSG(best.solution.valid,
                "theorem1: no OPT guess produced a feasible bisection");
+  if (run != nullptr) best.status = run->status();
   return best;
 }
 
@@ -458,8 +502,9 @@ BisectionReport bisect_small_edges(const Hypergraph& h,
     if (tree_sol.valid && tree_sol.cut < graph_sol.cut)
       graph_sol = std::move(tree_sol);
   }
-  BisectionReport out =
-      finish(h, std::move(graph_sol.side), "theorem2-small-edges", true);
+  BisectionReport out = finish(h, std::move(graph_sol.side),
+                               "theorem2-small-edges", !ht::run_stopped());
+  if (ht::RunState* run = ht::current_run_state()) out.status = run->status();
   return out;
 }
 
@@ -495,13 +540,24 @@ BisectionReport bisect_via_cut_tree(const Hypergraph& h,
   for (VertexId v = 0; v < n; ++v) counted[static_cast<std::size_t>(v)] = v;
   const auto tree_bisection =
       ht::cuttree::balanced_tree_bisection(tree_result.tree, counted);
-  HT_CHECK_MSG(tree_bisection.valid, "cut-tree bisection DP infeasible");
   std::vector<bool> side(static_cast<std::size_t>(n), false);
-  for (std::size_t i = 0; i < counted.size(); ++i)
-    side[static_cast<std::size_t>(counted[i])] = tree_bisection.side[i];
+  if (tree_bisection.valid) {
+    for (std::size_t i = 0; i < counted.size(); ++i)
+      side[static_cast<std::size_t>(counted[i])] = tree_bisection.side[i];
+  } else {
+    // Even a partial cut tree embeds every vertex, so the balanced DP is
+    // only infeasible when the run stopped underneath it — degrade to the
+    // trivial balanced partition instead of aborting.
+    HT_CHECK_MSG(ht::run_stopped(), "cut-tree bisection DP infeasible");
+    for (VertexId v = 0; v < n / 2; ++v)
+      side[static_cast<std::size_t>(v)] = true;
+  }
   BisectionReport out =
-      finish(h, std::move(side), "corollary3-cut-tree", options.fm_polish);
-  out.dp_estimate = tree_bisection.tree_cut;
+      finish(h, std::move(side), "corollary3-cut-tree",
+             options.fm_polish && !ht::run_stopped());
+  if (tree_bisection.valid) out.dp_estimate = tree_bisection.tree_cut;
+  out.status = tree_result.status;
+  if (ht::RunState* run = ht::current_run_state()) out.status = run->status();
   return out;
 }
 

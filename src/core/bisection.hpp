@@ -22,6 +22,7 @@
 #include "hypergraph/hypergraph.hpp"
 #include "partition/fm.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace ht::core {
 
@@ -33,6 +34,11 @@ struct BisectionReport {
   std::int32_t phase1_pieces = 0;
   double phase1_cut = 0.0;      // hyperedge weight cut while peeling
   double dp_estimate = 0.0;     // internal DP objective (upper-bound bookkeeping)
+  /// Ok on a full run. Under an early stop (deadline/cancel/budget from
+  /// the ambient RunContext) the solvers still return a *feasible*
+  /// balanced partition — degraded quality, never an invalid one — tagged
+  /// with the stop status.
+  Status status;
 };
 
 struct Theorem1Options {

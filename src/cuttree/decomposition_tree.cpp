@@ -58,8 +58,8 @@ double set_cut(const Graph& g, const std::vector<VertexId>& part) {
 
 }  // namespace
 
-Tree build_decomposition_tree(const Graph& g,
-                              const DecompositionOptions& options) {
+DecompositionTreeResult build_decomposition_tree_run(
+    const Graph& g, const DecompositionOptions& options) {
   HT_CHECK(g.finalized());
   const VertexId n = g.num_vertices();
   HT_CHECK(n >= 1);
@@ -84,6 +84,13 @@ Tree build_decomposition_tree(const Graph& g,
     ht::obs::TraceSpan span("dtree.split_oracle");
     span.arg("cluster_size", vertices.size());
     SplitOutcome result;
+    if (ht::run_stopped()) {
+      // The run already latched a stop: the fold loop is guaranteed to
+      // drain this cluster (the latch never clears), so its oracle work
+      // would be discarded — return an empty placeholder instead.
+      result.expand_leaves = true;
+      return result;
+    }
     if (static_cast<std::int32_t>(vertices.size()) <=
         std::max(options.leaf_cluster_size, 1)) {
       result.expand_leaves = true;
@@ -155,6 +162,9 @@ Tree build_decomposition_tree(const Graph& g,
     if (result.expand_leaves) {
       const auto& vertices =
           recs[static_cast<std::size_t>(rec_index)].vertices;
+      // A placeholder from a post-stop map can never reach this fold (the
+      // wavefront drains once a stop latches), so the cut list is full.
+      HT_DCHECK(result.leaf_cuts.size() == vertices.size());
       for (std::size_t i = 0; i < vertices.size(); ++i) {
         ChildEntry leaf;
         leaf.is_leaf = true;
@@ -181,8 +191,25 @@ Tree build_decomposition_tree(const Graph& g,
     }
     recs[static_cast<std::size_t>(rec_index)].children = std::move(children);
   };
-  ht::parallel_wavefront<std::int32_t, SplitOutcome>({0}, options.seed, map,
-                                                     fold);
+  // Early stop: a cluster still queued expands into a star of leaves with
+  // exact singleton cuts — the union-bound domination argument is
+  // unaffected, the tree is just coarser below that cluster.
+  const auto drain = [&](std::int32_t&& rec_index) {
+    ClusterRec& rec = recs[static_cast<std::size_t>(rec_index)];
+    std::vector<ChildEntry> children;
+    children.reserve(rec.vertices.size());
+    for (VertexId v : rec.vertices) {
+      ChildEntry leaf;
+      leaf.is_leaf = true;
+      leaf.vertex = v;
+      leaf.cut = singleton_cut(g, v);
+      children.push_back(leaf);
+    }
+    rec.children = std::move(children);
+  };
+  const ht::Status status =
+      ht::parallel_wavefront<std::int32_t, SplitOutcome>(
+          {0}, options.seed, map, fold, drain);
 
   // Stage 2 — serial: emit the Tree in DFS preorder over the cluster
   // family, matching the recursive construction's node numbering.
@@ -205,7 +232,15 @@ Tree build_decomposition_tree(const Graph& g,
       };
   assemble(0, root);
   tree.validate();
-  return tree;
+  DecompositionTreeResult out;
+  out.tree = std::move(tree);
+  out.status = status;
+  return out;
+}
+
+Tree build_decomposition_tree(const Graph& g,
+                              const DecompositionOptions& options) {
+  return build_decomposition_tree_run(g, options).tree;
 }
 
 }  // namespace ht::cuttree

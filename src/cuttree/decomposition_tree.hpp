@@ -17,6 +17,7 @@
 #include "cuttree/tree.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace ht::cuttree {
 
@@ -29,11 +30,26 @@ struct DecompositionOptions {
   std::int32_t leaf_cluster_size = 1;
 };
 
+struct DecompositionTreeResult {
+  Tree tree;
+  /// Ok when every cluster was split down to the stopping rule; a stop
+  /// status when the ambient RunContext ended the run early. The partial
+  /// tree is still a valid dominating tree: clusters still queued at the
+  /// stop expand into stars of leaves carrying their exact singleton cuts
+  /// (the union bound needs nothing more).
+  Status status;
+};
+
 /// Builds the decomposition tree of a finalized graph. Every original
 /// vertex is embedded as a leaf; internal nodes have weight
 /// kInfiniteNodeWeight (they are clusters, not vertices — only edges
 /// matter), and edge weights are the induced cuts delta_G(cluster).
-Tree build_decomposition_tree(const ht::graph::Graph& g,
-                              const DecompositionOptions& options = {});
+/// Stops early at wavefront piece boundaries under the ambient RunContext.
+DecompositionTreeResult build_decomposition_tree_run(
+    const ht::graph::Graph& g, const DecompositionOptions& options = {});
+
+/// Tree-only wrapper; superseded by ht::Solver::decomposition_tree.
+HT_LEGACY_API Tree build_decomposition_tree(
+    const ht::graph::Graph& g, const DecompositionOptions& options = {});
 
 }  // namespace ht::cuttree

@@ -66,7 +66,10 @@ VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
     ht::obs::TraceSpan span("vct.piece_oracle");
     span.arg("piece_size", piece.size());
     PieceOutcome result;
-    if (piece.size() <= 1) {
+    // A piece mapped after the run stopped skips its oracle: the fold
+    // loop will drain it into a final piece anyway (Lemma 5 makes that a
+    // valid stopping rule), so the work would be discarded.
+    if (piece.size() <= 1 || ht::run_stopped()) {
       result.is_final = true;
       return result;
     }
@@ -119,8 +122,13 @@ VertexCutTreeResult build_vertex_cut_tree(const Graph& g,
     for (auto& child : result.children)
       if (!child.empty()) emit(std::move(child));
   };
-  ht::parallel_wavefront<std::vector<VertexId>, PieceOutcome>(
-      std::move(roots), options.seed, map, fold);
+  // Early stop: every piece still queued becomes a final piece — the tree
+  // below stays a valid (coarser) cut tree, just with fewer separators.
+  const auto drain = [&](std::vector<VertexId>&& piece) {
+    if (!piece.empty()) final_pieces.push_back(std::move(piece));
+  };
+  out.status = ht::parallel_wavefront<std::vector<VertexId>, PieceOutcome>(
+      std::move(roots), options.seed, map, fold, drain);
 
   // Assemble the Figure 1 tree.
   double separator_weight = 0.0;

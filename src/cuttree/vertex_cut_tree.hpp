@@ -20,6 +20,7 @@
 #include "cuttree/tree.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace ht::cuttree {
 
@@ -42,6 +43,11 @@ struct VertexCutTreeResult {
   double separator_weight = 0.0;             // w(S)
   std::int32_t num_pieces = 0;               // surviving subgraphs G_i
   double threshold = 0.0;                    // sparsity threshold used
+  /// Ok when peeling ran to the stopping rule; a stop status when the
+  /// ambient RunContext ended the run early. Either way `tree` is a valid
+  /// dominating cut tree: Lemma 5 holds for ANY stopping rule, so pieces
+  /// still queued at the stop simply become final pieces.
+  Status status;
 };
 
 /// Builds the Section 3.1 vertex cut tree for a finalized graph. Works on

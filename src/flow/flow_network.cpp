@@ -8,6 +8,7 @@
 #include "flow/push_relabel.hpp"
 #include "obs/metrics.hpp"
 #include "util/perf_counters.hpp"
+#include "util/run_context.hpp"
 
 namespace ht::flow {
 
@@ -213,9 +214,27 @@ double FlowNetwork::dfs(NodeId v, double limit) {
 
 double FlowNetwork::max_flow() {
   HT_CHECK(source_ >= 0);
+  RunState* run = current_run_state();
+  const std::uint64_t stride =
+      run != nullptr ? std::max<std::uint32_t>(
+                           1, run->context().flow_check_rounds)
+                     : 0;
   double total = 0.0;
   std::uint64_t paths = 0;
+  std::uint64_t rounds = 0;
+  last_flow_complete_ = true;
   while (bfs()) {
+    // One poll per `stride` BFS phases (one relaxed load per phase once a
+    // stop has latched elsewhere): an interrupted solve abandons the
+    // remaining phases and reports last_flow_complete() == false.
+    if (run != nullptr) {
+      ++rounds;
+      if (run->stopped() ||
+          (rounds % stride == 0 && !run->check().ok())) {
+        last_flow_complete_ = false;
+        break;
+      }
+    }
     std::copy(first_out_.begin(), first_out_.end(), iter_.begin());
     for (;;) {
       const double pushed = dfs(source_, kInfiniteCapacity);
@@ -231,6 +250,16 @@ double FlowNetwork::max_flow() {
 
 double FlowNetwork::max_flow_push_relabel() {
   HT_CHECK(source_ >= 0);
+  RunState* run = current_run_state();
+  // Discharges are far cheaper than Dinic phases; poll at a matching
+  // wall-clock cadence by scaling the configured round stride.
+  const std::uint64_t stride =
+      run != nullptr
+          ? std::max<std::uint32_t>(1, run->context().flow_check_rounds) *
+                1024ULL
+          : 0;
+  std::uint64_t discharges = 0;
+  last_flow_complete_ = true;
   last_augmenting_paths_ = 0;
   const auto n = static_cast<std::size_t>(num_nodes());
   height_.assign(n, 0);
@@ -299,6 +328,14 @@ double FlowNetwork::max_flow_push_relabel() {
   while (!active.empty()) {
     const NodeId v = active.front();
     active.pop();
+    if (run != nullptr) {
+      ++discharges;
+      if (run->stopped() ||
+          (discharges % stride == 0 && !run->check().ok())) {
+        last_flow_complete_ = false;
+        break;
+      }
+    }
     if (v == source_ || v == sink_) continue;
     while (positive(excess_[static_cast<std::size_t>(v)])) {
       if (height_[static_cast<std::size_t>(v)] > 2 * num_nodes()) break;

@@ -103,6 +103,13 @@ class FlowNetwork {
   std::uint64_t last_augmenting_paths() const {
     return last_augmenting_paths_;
   }
+  /// False when the most recent solve was interrupted by the ambient
+  /// RunContext (deadline/cancel polled every flow_check_rounds augmenting
+  /// rounds). An interrupted solve returns a partial flow value whose
+  /// residual reachability need not be a cut; callers must not treat it as
+  /// a min cut. The arena itself stays healthy — the next reset() restores
+  /// exact capacities as usual.
+  bool last_flow_complete() const { return last_flow_complete_; }
 
   /// Restores every capacity to its build-time value (terminal arcs back
   /// to zero) in O(arcs) with no allocation. Must precede attach_*.
@@ -158,6 +165,7 @@ class FlowNetwork {
   std::vector<double> cap_;
   std::uint64_t queries_ = 0;
   std::uint64_t last_augmenting_paths_ = 0;
+  bool last_flow_complete_ = true;
 
   // Solver scratch, reused across queries.
   std::vector<std::int32_t> level_;

@@ -6,6 +6,7 @@
 #include "flow/min_cut.hpp"
 #include "obs/trace.hpp"
 #include "util/perf_counters.hpp"
+#include "util/run_context.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ht::flow {
@@ -49,7 +50,7 @@ Graph GomoryHuTree::as_graph() const {
   return g;
 }
 
-GomoryHuTree gomory_hu(const Graph& g) {
+GomoryHuRunResult gomory_hu_run(const Graph& g) {
   HT_CHECK(g.finalized());
   const VertexId n = g.num_vertices();
   HT_CHECK(n >= 2);
@@ -59,7 +60,9 @@ GomoryHuTree gomory_hu(const Graph& g) {
   ht::obs::TraceSpan trace("gomory_hu");
   trace.arg("n", n);
   ht::PhaseTimer phase("gomory_hu.graph");
-  GomoryHuTree tree;
+  RunState* run = current_run_state();
+  GomoryHuRunResult out;
+  GomoryHuTree& tree = out.tree;
   tree.root = 0;
   tree.parent.assign(static_cast<std::size_t>(n), 0);
   tree.parent[0] = -1;
@@ -73,7 +76,8 @@ GomoryHuTree gomory_hu(const Graph& g) {
   // every thread count and batch size.
   const auto batch_size = static_cast<VertexId>(
       std::max<std::size_t>(1, ThreadPool::global().size()));
-  for (VertexId lo = 1; lo < n; lo += batch_size) {
+  bool interrupted = false;
+  for (VertexId lo = 1; lo < n && !interrupted; lo += batch_size) {
     const VertexId hi = std::min<VertexId>(n, lo + batch_size);
     const auto count = static_cast<std::size_t>(hi - lo);
     std::vector<VertexId> snapshot(count);
@@ -88,12 +92,24 @@ GomoryHuTree gomory_hu(const Graph& g) {
       });
     }
     for (VertexId i = lo; i < hi; ++i) {
+      // Anytime stop, at the serial apply boundary only: vertices before i
+      // keep their exact cuts, i and beyond stay provisional. An
+      // interrupted (incomplete) flow is never applied — its witness need
+      // not separate.
+      if (run != nullptr && !run->check().ok()) {
+        interrupted = true;
+        break;
+      }
       const VertexId j = tree.parent[static_cast<std::size_t>(i)];
       const std::size_t t = static_cast<std::size_t>(i - lo);
       const EdgeCutResult cut =
           (count > 1 && snapshot[t] == j)
               ? std::move(speculative[t])
               : min_edge_cut(g, {i}, {j});
+      if (!cut.complete) {
+        interrupted = true;
+        break;
+      }
       tree.parent_cut[static_cast<std::size_t>(i)] = cut.value;
       // Gusfield re-hang: every later vertex currently hanging off j that
       // fell on i's side of this cut is re-parented to i.
@@ -113,9 +129,15 @@ GomoryHuTree gomory_hu(const Graph& g) {
         tree.parent[static_cast<std::size_t>(j)] = i;
         tree.parent_cut[static_cast<std::size_t>(j)] = cut.value;
       }
+      ++out.applied;
+      if (run != nullptr) run->note_piece();
     }
   }
-  return tree;
+  out.status = interrupted && run != nullptr ? run->status() : Status::Ok();
+  trace.arg("applied", out.applied);
+  return out;
 }
+
+GomoryHuTree gomory_hu(const Graph& g) { return gomory_hu_run(g).tree; }
 
 }  // namespace ht::flow

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/status.hpp"
 
 namespace ht::flow {
 
@@ -28,9 +29,27 @@ struct GomoryHuTree {
   ht::graph::Graph as_graph() const;
 };
 
+/// gomory_hu with anytime semantics under the ambient RunContext.
+struct GomoryHuRunResult {
+  GomoryHuTree tree;
+  /// Ok when all n-1 cuts were applied; otherwise the run's stop status.
+  Status status;
+  /// Number of non-root vertices whose parent cut is exact. Vertices
+  /// beyond the stop point keep their provisional parent with
+  /// parent_cut == 0 — a (pessimistic) lower bound, so tree.min_cut()
+  /// never over-reports on a partial tree.
+  ht::graph::VertexId applied = 0;
+};
+
 /// Builds the Gomory–Hu tree with n-1 max-flow computations (Gusfield's
-/// variant, no contractions). Requires a finalized connected graph with
-/// n >= 2. Edge weights are used; vertex weights are ignored.
-GomoryHuTree gomory_hu(const ht::graph::Graph& g);
+/// variant, no contractions), stopping early at the Gusfield apply
+/// boundary when the ambient RunContext cancels, expires, or exhausts its
+/// piece budget. The apply loop is serial, so a piece-budget stop lands on
+/// the same vertex for every thread count. Requires a finalized connected
+/// graph with n >= 2. Edge weights are used; vertex weights are ignored.
+GomoryHuRunResult gomory_hu_run(const ht::graph::Graph& g);
+
+/// Run-to-completion wrapper; superseded by ht::Solver::gomory_hu.
+HT_LEGACY_API GomoryHuTree gomory_hu(const ht::graph::Graph& g);
 
 }  // namespace ht::flow

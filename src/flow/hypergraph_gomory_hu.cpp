@@ -6,6 +6,7 @@
 #include "flow/min_cut.hpp"
 #include "obs/trace.hpp"
 #include "util/perf_counters.hpp"
+#include "util/run_context.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ht::flow {
@@ -36,7 +37,7 @@ double HypergraphGomoryHuTree::min_cut(VertexId s, VertexId t) const {
   return best;
 }
 
-HypergraphGomoryHuTree hypergraph_gomory_hu(const Hypergraph& h) {
+HypergraphGomoryHuRunResult hypergraph_gomory_hu_run(const Hypergraph& h) {
   HT_CHECK(h.finalized());
   const VertexId n = h.num_vertices();
   HT_CHECK(n >= 2);
@@ -46,7 +47,9 @@ HypergraphGomoryHuTree hypergraph_gomory_hu(const Hypergraph& h) {
   trace.arg("n", n);
   trace.arg("m", h.num_edges());
   ht::PhaseTimer phase("gomory_hu.hypergraph");
-  HypergraphGomoryHuTree tree;
+  RunState* run = current_run_state();
+  HypergraphGomoryHuRunResult out;
+  HypergraphGomoryHuTree& tree = out.tree;
   tree.root = 0;
   tree.parent.assign(static_cast<std::size_t>(n), 0);
   tree.parent[0] = -1;
@@ -61,6 +64,8 @@ HypergraphGomoryHuTree hypergraph_gomory_hu(const Hypergraph& h) {
   std::vector<VertexId> snapshot;
   std::vector<HyperedgeCutResult> speculative;
   for (VertexId i = 1; i < n; ++i) {
+    // Anytime stop at the serial apply boundary (see gomory_hu.cpp).
+    if (run != nullptr && !run->check().ok()) break;
     if (i >= batch_lo + batch_size || i == 1) {
       batch_lo = i;
       const VertexId batch_hi = std::min<VertexId>(n, batch_lo + batch_size);
@@ -82,6 +87,9 @@ HypergraphGomoryHuTree hypergraph_gomory_hu(const Hypergraph& h) {
         (snapshot.size() > 1 && snapshot[t] == j)
             ? std::move(speculative[t])
             : min_hyperedge_cut(h, {i}, {j});
+    // An interrupted flow's witness need not separate i from j — never
+    // apply it; the HT_CHECK below relies on completeness.
+    if (!cut.complete) break;
     tree.parent_cut[static_cast<std::size_t>(i)] = cut.value;
     // Source side of the canonical minimum cut: vertices still reachable
     // from i after removing the cut hyperedges.
@@ -123,8 +131,17 @@ HypergraphGomoryHuTree hypergraph_gomory_hu(const Hypergraph& h) {
       tree.parent[static_cast<std::size_t>(j)] = i;
       tree.parent_cut[static_cast<std::size_t>(j)] = cut.value;
     }
+    ++out.applied;
+    if (run != nullptr) run->note_piece();
   }
-  return tree;
+  out.status = out.applied + 1 < n && run != nullptr ? run->status()
+                                                     : Status::Ok();
+  trace.arg("applied", out.applied);
+  return out;
+}
+
+HypergraphGomoryHuTree hypergraph_gomory_hu(const Hypergraph& h) {
+  return hypergraph_gomory_hu_run(h).tree;
 }
 
 }  // namespace ht::flow

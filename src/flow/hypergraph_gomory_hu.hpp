@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "hypergraph/hypergraph.hpp"
+#include "util/status.hpp"
 
 namespace ht::flow {
 
@@ -29,9 +30,23 @@ struct HypergraphGomoryHuTree {
                  ht::hypergraph::VertexId t) const;
 };
 
-/// Builds the tree with n-1 hypergraph min-cut computations. Requires a
-/// finalized connected hypergraph with n >= 2.
-HypergraphGomoryHuTree hypergraph_gomory_hu(
+/// hypergraph_gomory_hu with anytime semantics (see GomoryHuRunResult).
+struct HypergraphGomoryHuRunResult {
+  HypergraphGomoryHuTree tree;
+  Status status;
+  /// Vertices with exact parent cuts; beyond this the provisional
+  /// parent_cut == 0 is a pessimistic lower bound.
+  ht::hypergraph::VertexId applied = 0;
+};
+
+/// Builds the tree with n-1 hypergraph min-cut computations, stopping
+/// early at the serial apply boundary under the ambient RunContext.
+/// Requires a finalized connected hypergraph with n >= 2.
+HypergraphGomoryHuRunResult hypergraph_gomory_hu_run(
+    const ht::hypergraph::Hypergraph& h);
+
+/// Run-to-completion wrapper; superseded by ht::Solver::gomory_hu.
+HT_LEGACY_API HypergraphGomoryHuTree hypergraph_gomory_hu(
     const ht::hypergraph::Hypergraph& h);
 
 }  // namespace ht::flow

@@ -6,6 +6,7 @@
 #include "flow/flow_network.hpp"
 #include "obs/trace.hpp"
 #include "util/perf_counters.hpp"
+#include "util/run_context.hpp"
 #include "util/work_arena.hpp"
 
 namespace ht::flow {
@@ -38,6 +39,12 @@ template <typename BuildFn>
 FlowNetwork& acquire_network(std::uint32_t kind, std::uint64_t uid,
                              std::optional<FlowNetwork>& fresh,
                              BuildFn&& build) {
+  // Apply the run's memory budget before parking another engine: evict
+  // least-recently-used cached engines until the cache fits.
+  if (RunState* run = current_run_state()) {
+    const std::size_t budget = run->context().memory_budget_bytes;
+    if (budget != 0) ht::WorkArena::local().enforce_budget(budget);
+  }
   if (flow_reuse_enabled() && uid != 0) {
     FlowNetwork& net = ht::WorkArena::local().acquire<FlowNetwork>(
         kind, uid, static_cast<BuildFn&&>(build));
@@ -73,6 +80,7 @@ EdgeCutResult min_edge_cut(const Graph& g, const std::vector<VertexId>& a,
   net.max_flow();
 
   EdgeCutResult out;
+  out.complete = net.last_flow_complete();
   const std::vector<char>& reach = net.source_side();
   out.source_side.assign(static_cast<std::size_t>(n), false);
   for (NodeId v = 0; v < n; ++v)
@@ -113,6 +121,7 @@ VertexCutResult min_vertex_cut(const Graph& g, const std::vector<VertexId>& a,
   net.max_flow();
 
   VertexCutResult out;
+  out.complete = net.last_flow_complete();
   const std::vector<char>& reach = net.source_side();
   for (VertexId v = 0; v < n; ++v) {
     if (reach[static_cast<std::size_t>(v_in(v))] &&
@@ -123,7 +132,7 @@ VertexCutResult min_vertex_cut(const Graph& g, const std::vector<VertexId>& a,
   }
   span.arg("cut_value", out.value);
   span.arg("augmenting_paths", net.last_augmenting_paths());
-  HT_DCHECK(vertex_cut_separates(g, out.cut_vertices, a, b));
+  HT_DCHECK(!out.complete || vertex_cut_separates(g, out.cut_vertices, a, b));
   return out;
 }
 
@@ -155,6 +164,7 @@ HyperedgeCutResult min_hyperedge_cut(
   net.max_flow();
 
   HyperedgeCutResult out;
+  out.complete = net.last_flow_complete();
   const std::vector<char>& reach = net.source_side();
   for (ht::hypergraph::EdgeId e = 0; e < m; ++e) {
     if (reach[static_cast<std::size_t>(e_in(e))] &&
@@ -165,7 +175,7 @@ HyperedgeCutResult min_hyperedge_cut(
   }
   span.arg("cut_value", out.value);
   span.arg("augmenting_paths", net.last_augmenting_paths());
-  HT_DCHECK(hyperedge_cut_separates(h, out.cut_edges, a, b));
+  HT_DCHECK(!out.complete || hyperedge_cut_separates(h, out.cut_edges, a, b));
   return out;
 }
 

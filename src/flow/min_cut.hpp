@@ -21,6 +21,10 @@ struct EdgeCutResult {
   double value = 0.0;
   std::vector<ht::graph::EdgeId> cut_edges;
   std::vector<bool> source_side;  // indicator over vertices; A-side
+  /// False when the ambient RunContext interrupted the max-flow solve: the
+  /// witness then need not separate A from B and value is not a min cut.
+  /// Anytime callers must check this before trusting the cut.
+  bool complete = true;
 };
 
 /// Minimum edge cut separating disjoint non-empty A and B.
@@ -31,6 +35,8 @@ EdgeCutResult min_edge_cut(const ht::graph::Graph& g,
 struct VertexCutResult {
   double value = 0.0;
   std::vector<ht::graph::VertexId> cut_vertices;
+  /// See EdgeCutResult::complete.
+  bool complete = true;
 };
 
 /// Minimum-weight vertex cut gamma_G(A,B): a vertex set X (possibly
@@ -43,6 +49,8 @@ VertexCutResult min_vertex_cut(const ht::graph::Graph& g,
 struct HyperedgeCutResult {
   double value = 0.0;
   std::vector<ht::hypergraph::EdgeId> cut_edges;
+  /// See EdgeCutResult::complete.
+  bool complete = true;
 };
 
 /// Minimum-weight hyperedge cut delta_H(A,B) separating A from B.

@@ -36,49 +36,74 @@ void write_hmetis(const Hypergraph& h, std::ostream& os) {
       os << h.vertex_weight(v) << '\n';
 }
 
-Hypergraph read_hmetis(std::istream& is) {
+StatusOr<Hypergraph> try_read_hmetis(std::istream& is) {
   std::string line;
-  auto next_content_line = [&]() -> std::string {
+  // Returns false at EOF; comments (%) and blank lines are skipped.
+  auto next_content_line = [&]() -> bool {
     while (std::getline(is, line)) {
-      if (!line.empty() && line[0] != '%') return line;
+      if (!line.empty() && line[0] != '%') return true;
     }
-    HT_CHECK_MSG(false, "unexpected EOF in hMetis input");
-    return {};
+    return false;
   };
-  std::istringstream header(next_content_line());
+  if (!next_content_line())
+    return Status::InvalidArgument("hMetis input is empty");
+  std::istringstream header(line);
   std::int64_t m = 0, n = 0;
   int fmt = 0;
-  header >> m >> n;
+  if (!(header >> m >> n))
+    return Status::InvalidArgument("bad hMetis header: \"" + line + "\"");
   if (!(header >> fmt)) fmt = 0;
+  if (m < 0 || n < 0)
+    return Status::InvalidArgument("bad hMetis header: negative m or n");
+  if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11)
+    return Status::InvalidArgument("bad hMetis fmt field: " +
+                                   std::to_string(fmt));
   const bool ew = (fmt % 10) == 1;
   const bool vw = fmt >= 10;
   Hypergraph h(static_cast<VertexId>(n));
   for (std::int64_t e = 0; e < m; ++e) {
-    std::istringstream row(next_content_line());
+    if (!next_content_line())
+      return Status::InvalidArgument(
+          "unexpected EOF: expected " + std::to_string(m) +
+          " hyperedge lines, got " + std::to_string(e));
+    std::istringstream row(line);
     double w = 1.0;
-    if (ew) {
-      row >> w;
-      HT_CHECK_MSG(row, "missing edge weight");
-    }
+    if (ew && !(row >> w))
+      return Status::InvalidArgument("missing edge weight: \"" + line + "\"");
     std::vector<VertexId> pins;
     std::int64_t pin;
     while (row >> pin) {
-      HT_CHECK_MSG(1 <= pin && pin <= n, "pin out of range: " << pin);
+      if (pin < 1 || pin > n)
+        return Status::InvalidArgument("pin out of range: " +
+                                       std::to_string(pin));
       pins.push_back(static_cast<VertexId>(pin - 1));
     }
+    if (!row.eof())
+      return Status::InvalidArgument("non-numeric pin: \"" + line + "\"");
     h.add_edge(std::move(pins), w);
   }
   if (vw) {
     for (std::int64_t v = 0; v < n; ++v) {
-      std::istringstream row(next_content_line());
+      if (!next_content_line())
+        return Status::InvalidArgument(
+            "unexpected EOF: expected " + std::to_string(n) +
+            " vertex weight lines, got " + std::to_string(v));
+      std::istringstream row(line);
       double w = 1.0;
-      row >> w;
-      HT_CHECK_MSG(row, "missing vertex weight");
+      if (!(row >> w))
+        return Status::InvalidArgument("missing vertex weight: \"" + line +
+                                       "\"");
       h.set_vertex_weight(static_cast<VertexId>(v), w);
     }
   }
   h.finalize();
   return h;
+}
+
+StatusOr<Hypergraph> try_read_hmetis_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) return Status::InvalidArgument("cannot open " + path);
+  return try_read_hmetis(is);
 }
 
 void write_hmetis_file(const Hypergraph& h, const std::string& path) {
@@ -87,10 +112,16 @@ void write_hmetis_file(const Hypergraph& h, const std::string& path) {
   write_hmetis(h, os);
 }
 
+Hypergraph read_hmetis(std::istream& is) {
+  StatusOr<Hypergraph> parsed = try_read_hmetis(is);
+  HT_CHECK_MSG(parsed.ok(), parsed.status().to_string());
+  return std::move(*parsed);
+}
+
 Hypergraph read_hmetis_file(const std::string& path) {
-  std::ifstream is(path);
-  HT_CHECK_MSG(is.good(), "cannot open " << path);
-  return read_hmetis(is);
+  StatusOr<Hypergraph> parsed = try_read_hmetis_file(path);
+  HT_CHECK_MSG(parsed.ok(), parsed.status().to_string());
+  return std::move(*parsed);
 }
 
 }  // namespace ht::hypergraph

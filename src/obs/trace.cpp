@@ -1,7 +1,6 @@
 #include "obs/trace.hpp"
 
 #include <cstdio>
-#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
@@ -210,40 +209,5 @@ bool Tracer::write_chrome_trace(const std::string& path) const {
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   return std::fclose(f) == 0 && ok;
 }
-
-namespace {
-
-/// HT_TRACE=out.json turns tracing on for the whole process and writes the
-/// Chrome trace at exit. The path is copied into a function-local static
-/// so the atexit handler never touches a destroyed object.
-const std::string& trace_output_path() {
-  static const std::string path = [] {
-    const char* env = std::getenv("HT_TRACE");
-    return std::string(env != nullptr ? env : "");
-  }();
-  return path;
-}
-
-struct TraceEnvInit {
-  TraceEnvInit() {
-    if (trace_output_path().empty()) return;
-    (void)Tracer::global();  // construct before registering the handler
-    set_tracing_enabled(true);
-    std::atexit([] {
-      set_tracing_enabled(false);
-      const std::string& path = trace_output_path();
-      if (Tracer::global().write_chrome_trace(path)) {
-        std::fprintf(stderr, "ht: wrote trace to %s (%zu events)\n",
-                     path.c_str(), Tracer::global().event_count());
-      } else {
-        std::fprintf(stderr, "ht: failed to write trace to %s\n",
-                     path.c_str());
-      }
-    });
-  }
-};
-const TraceEnvInit g_trace_env_init;
-
-}  // namespace
 
 }  // namespace ht::obs

@@ -19,7 +19,9 @@
 // ("X" complete events) loadable in Perfetto / chrome://tracing, with
 // span_id/parent_id inside args so tools can rebuild the logical tree.
 // Setting HT_TRACE=out.json in the environment enables tracing at startup
-// and writes the file at process exit. collect()/clear()/export require
+// and writes the file at process exit (the env read lives in
+// util/run_context.cpp — the obs layer never calls getenv itself).
+// collect()/clear()/export require
 // quiescence: no span may be open or closing concurrently (call
 // ThreadPool::wait_idle() first) — that is the price of the lock-free
 // write path.

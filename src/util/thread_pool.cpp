@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/perf_counters.hpp"
+#include "util/run_context.hpp"
 
 namespace ht {
 
@@ -36,6 +36,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  // Run-context propagation: a task spawned under a RunScope must observe
+  // the same RunState (deadline, cancel latch, piece counter) no matter
+  // which worker steals it. Only pay the wrapper when a run is bound.
+  if (std::shared_ptr<RunState> run = current_run_state_shared()) {
+    task = [run = std::move(run), inner = std::move(task)]() mutable {
+      RunBinding binding(run);
+      inner();
+    };
+  }
   // Span-context propagation: the task's spans must parent under the span
   // that *enqueued* it (the logical recursion tree), not under whatever
   // the stealing thread happens to be running. Only pay the wrapper when
@@ -113,18 +122,9 @@ void ThreadPool::worker_loop() {
 }
 
 std::size_t ThreadPool::configured_threads() {
-  if (const char* env = std::getenv("HT_THREADS")) {
-    // strtoul accepts a leading '-' (wrapping to a huge value), so screen
-    // it out; cap the result so a typo can't ask for millions of threads.
-    constexpr unsigned long kMaxThreads = 1024;
-    char* end = nullptr;
-    const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (env[0] != '-' && end != env && *end == '\0' && parsed >= 1) {
-      return static_cast<std::size_t>(std::min(parsed, kMaxThreads));
-    }
-  }
-  const std::size_t hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  // Env parsing lives in run_context.cpp (RunContext::FromEnv is the one
+  // place the environment is consulted); this is just the default knob.
+  return env_default_threads();
 }
 
 ThreadPool& ThreadPool::global() {

@@ -36,6 +36,11 @@ WorkArena::Remap WorkArena::begin_remap(std::int32_t universe) {
 
 void WorkArena::clear_cache() { cache_.clear(); }
 
+void WorkArena::enforce_budget(std::size_t budget_bytes) {
+  if (budget_bytes == 0) return;
+  while (!cache_.empty() && cached_bytes() > budget_bytes) evict_oldest();
+}
+
 std::size_t WorkArena::cached_bytes() const {
   std::size_t total = 0;
   for (const auto& entry : cache_) total += entry.bytes;

@@ -101,6 +101,11 @@ class WorkArena {
   /// and warm runs). Remap buffers are kept.
   void clear_cache();
 
+  /// Evicts least-recently-used entries until the cache fits in
+  /// `budget_bytes` (0 = unlimited, no-op). The RunContext memory budget
+  /// is applied here by the flow layer before each engine acquire.
+  void enforce_budget(std::size_t budget_bytes);
+
   /// Bytes currently parked in this arena's object cache.
   std::size_t cached_bytes() const;
 
