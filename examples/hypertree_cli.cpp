@@ -1,18 +1,37 @@
-// Command-line partitioner: read an hMetis hypergraph, bisect or k-way
-// partition it, print the assignment.
+// Command-line front end: partition a hypergraph, build a .htsnap
+// snapshot, or serve queries from one.
 //
 //   $ ./hypertree_cli <file.hmetis> [--algo=theorem1|cuttree|smalledges|fm]
-//                     [--k=2] [--seed=42] [--deadline-ms=N] [--quiet]
+//                     [--k=2] [--seed=42] [--deadline-ms=N] [--threads=N]
+//                     [--quiet]
+//   $ ./hypertree_cli build-snapshot <file.hmetis> <out.htsnap>
+//                     [--seed=S] [--deadline-ms=N] [--threads=N]
+//                     [--build-info=TEXT]
+//   $ ./hypertree_cli serve <snapshot.htsnap> [--deadline-ms=N]
+//                     [--threads=N]
 //
-// With --k > 2 the algorithm choice applies to the recursive-bisection
-// engine is ignored and the FM-based recursive bisection is used.
-// --deadline-ms runs the bisection as an anytime computation: on expiry
-// the best-so-far feasible partition is printed, with its stop status.
-// Output: one line per vertex with its part id, then a summary line
-//   # cut=<delta_H> connectivity=<lambda-1> n=<n> m=<m> k=<k>
+// Thread-count precedence (everywhere): --threads=N beats the HT_THREADS
+// environment variable, which beats the hardware default. The flag is
+// applied on top of RunContext::FromEnv(), which is what reads the
+// environment.
+//
+// The partition mode is unchanged: with --k > 2 the FM-based recursive
+// bisection is used regardless of --algo, --deadline-ms runs anytime and
+// prints the best-so-far feasible partition with its stop status, and the
+// output is one part id per line plus a summary line
+//   # cut=<delta_H> connectivity=<lambda-1> n=<n> m=<m> k=<k> ...
+//
+// serve reads one query per line from stdin and answers on stdout:
+//   minc <s> <t>   exact min s-t hyperedge cut (Gomory-Hu tree walk)
+//   bisect         balanced bisection (Corollary 3 cut-tree DP)
+//   kway <k>       balanced k-way partition (decomposition-tree DP)
+//   info           snapshot + server counters
+//   swap <path>    hot-swap to another snapshot (old queries finish first)
+//   quit           exit 0
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "ht/hypertree.hpp"
@@ -20,15 +39,20 @@
 namespace {
 
 struct Options {
+  std::string command;  // "" = partition, or "build-snapshot" / "serve"
   std::string path;
+  std::string out_path;
   std::string algo = "theorem1";
+  std::string build_info;
   std::int32_t k = 2;
   std::uint64_t seed = 42;
   std::int64_t deadline_ms = 0;
+  std::int64_t threads = -1;  // -1 = not given, HT_THREADS applies
   bool quiet = false;
 };
 
 bool parse(int argc, char** argv, Options& out) {
+  std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--algo=", 0) == 0) {
@@ -39,28 +63,170 @@ bool parse(int argc, char** argv, Options& out) {
       out.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       out.deadline_ms = std::atoll(arg.c_str() + 14);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      out.threads = std::atoll(arg.c_str() + 10);
+      if (out.threads < 1) return false;
+    } else if (arg.rfind("--build-info=", 0) == 0) {
+      out.build_info = arg.substr(13);
     } else if (arg == "--quiet") {
       out.quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag: " << arg << "\n";
       return false;
     } else {
-      out.path = arg;
+      positional.push_back(arg);
     }
   }
-  return !out.path.empty() && out.k >= 2;
+  if (positional.empty()) return false;
+  if (positional[0] == "build-snapshot") {
+    if (positional.size() != 3) return false;
+    out.command = positional[0];
+    out.path = positional[1];
+    out.out_path = positional[2];
+    return true;
+  }
+  if (positional[0] == "serve") {
+    if (positional.size() != 2) return false;
+    out.command = positional[0];
+    out.path = positional[1];
+    return true;
+  }
+  if (positional.size() != 1) return false;
+  out.path = positional[0];
+  return out.k >= 2;
 }
 
-}  // namespace
+/// FromEnv() + the CLI flags; --threads (when given) overwrites the
+/// HT_THREADS-derived default — the flag always wins.
+ht::RunContext make_context(const Options& options) {
+  ht::RunContext ctx = ht::RunContext::FromEnv();
+  ctx.with_seed(options.seed);
+  if (options.deadline_ms > 0)
+    ctx.with_deadline_after(std::chrono::milliseconds(options.deadline_ms));
+  if (options.threads > 0)
+    ctx.with_threads(static_cast<std::size_t>(options.threads));
+  return ctx;
+}
 
-int main(int argc, char** argv) {
-  Options options;
-  if (!parse(argc, argv, options)) {
-    std::cerr << "usage: hypertree_cli <file.hmetis> "
-                 "[--algo=theorem1|cuttree|smalledges|fm] [--k=K] "
-                 "[--seed=S] [--deadline-ms=N] [--quiet]\n";
-    return 2;
+int run_build_snapshot(const Options& options) {
+  auto parsed = ht::Solver::read_hmetis(options.path);
+  if (!parsed.has_value()) {
+    std::cerr << "failed to read " << options.path << ": "
+              << parsed.status().to_string() << "\n";
+    return 1;
   }
+  ht::Solver solver(make_context(options));
+  ht::snapshot::BuildOptions build;
+  build.seed = options.seed;
+  build.build_info = options.build_info;
+  ht::snapshot::BuildReport report;
+  const ht::Status status =
+      solver.build_snapshot(*parsed, options.out_path, build, &report);
+  if (!status.ok() && report.bytes == 0) {
+    std::cerr << "snapshot build failed: " << status.to_string() << "\n";
+    return 1;
+  }
+  std::cout << "# snapshot=" << options.out_path << " bytes=" << report.bytes
+            << " n=" << parsed->num_vertices() << " m=" << parsed->num_edges()
+            << " gomory_hu=" << (report.gomory_hu_present ? 1 : 0)
+            << " vct_nodes=" << report.vct_nodes
+            << " decomp_nodes=" << report.decomp_nodes
+            << " threads=" << solver.context().threads
+            << " status=" << status.code_name() << "\n";
+  return 0;
+}
+
+int run_serve(const Options& options) {
+  auto server = ht::TreeServer::open(options.path);
+  if (!server.has_value()) {
+    std::cerr << "failed to open snapshot " << options.path << ": "
+              << server.status().to_string() << "\n";
+    return 1;
+  }
+  // The query path is pure tree DPs — no pool involvement — but the
+  // resolved thread count (flag > HT_THREADS > hardware) is still
+  // reported so operators can see what a swap-triggered rebuild would use.
+  const ht::RunContext base = make_context(options);
+  const auto info = server->info();
+  std::cout << "# serving n=" << info.num_vertices << " m=" << info.num_edges
+            << " version=" << info.format_version
+            << " bytes=" << info.snapshot_bytes
+            << " gomory_hu=" << (info.has_gomory_hu ? 1 : 0)
+            << " cut_tree=" << (info.has_vertex_cut_tree ? 1 : 0)
+            << " decomposition=" << (info.has_decomposition ? 1 : 0)
+            << " threads=" << base.threads << "\n";
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    // Each query gets a fresh context so --deadline-ms is per query, not
+    // per process lifetime.
+    ht::RunContext ctx = base;
+    if (options.deadline_ms > 0)
+      ctx.with_deadline_after(std::chrono::milliseconds(options.deadline_ms));
+    if (cmd == "quit" || cmd == "exit") return 0;
+    if (cmd == "info") {
+      const auto now = server->info();
+      std::cout << "info n=" << now.num_vertices << " m=" << now.num_edges
+                << " queries=" << now.queries << " swaps=" << now.swaps
+                << "\n";
+    } else if (cmd == "minc") {
+      std::int32_t s = -1, t = -1;
+      if (!(in >> s >> t)) {
+        std::cout << "error minc needs two vertex ids\n";
+        continue;
+      }
+      const auto answer = server->min_cut(s, t, ctx);
+      if (!answer.has_value()) {
+        std::cout << "error " << answer.status().to_string() << "\n";
+      } else {
+        std::cout << "minc " << answer->value
+                  << (answer->exact ? " exact" : " lower-bound") << "\n";
+      }
+    } else if (cmd == "bisect") {
+      const auto answer = server->bisection(ctx);
+      if (!answer.has_value()) {
+        std::cout << "error " << answer.status().to_string() << "\n";
+      } else {
+        std::cout << "bisect cut=" << answer->cut
+                  << " tree_cut=" << answer->tree_cut << "\n";
+      }
+    } else if (cmd == "kway") {
+      std::int32_t k = 0;
+      if (!(in >> k)) {
+        std::cout << "error kway needs k\n";
+        continue;
+      }
+      const auto answer = server->kway(k, ctx);
+      if (!answer.has_value()) {
+        std::cout << "error " << answer.status().to_string() << "\n";
+      } else {
+        std::cout << "kway cut=" << answer->cut
+                  << " connectivity=" << answer->connectivity
+                  << " tree_cut=" << answer->tree_cut << "\n";
+      }
+    } else if (cmd == "swap") {
+      std::string path;
+      if (!(in >> path)) {
+        std::cout << "error swap needs a path\n";
+        continue;
+      }
+      const ht::Status status = server->swap(path);
+      if (!status.ok()) {
+        std::cout << "error " << status.to_string() << "\n";
+      } else {
+        std::cout << "swapped " << path << "\n";
+      }
+    } else {
+      std::cout << "error unknown command " << cmd << "\n";
+    }
+  }
+  return 0;
+}
+
+int run_partition(const Options& options) {
   auto parsed = ht::Solver::read_hmetis(options.path);
   if (!parsed.has_value()) {
     std::cerr << "failed to read " << options.path << ": "
@@ -68,12 +234,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const ht::hypergraph::Hypergraph& h = *parsed;
-
-  ht::RunContext ctx = ht::RunContext::FromEnv();
-  ctx.with_seed(options.seed);
-  if (options.deadline_ms > 0)
-    ctx.with_deadline_after(std::chrono::milliseconds(options.deadline_ms));
-  ht::Solver solver(ctx);
+  ht::Solver solver(make_context(options));
 
   std::vector<std::int32_t> part(
       static_cast<std::size_t>(h.num_vertices()), 0);
@@ -127,6 +288,27 @@ int main(int argc, char** argv) {
   std::cout << "# cut=" << cut << " connectivity=" << connectivity
             << " n=" << h.num_vertices() << " m=" << h.num_edges()
             << " k=" << options.k << " algo=" << options.algo
+            << " threads=" << solver.context().threads
             << " status=" << status << "\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, options)) {
+    std::cerr
+        << "usage: hypertree_cli <file.hmetis> "
+           "[--algo=theorem1|cuttree|smalledges|fm] [--k=K] [--seed=S] "
+           "[--deadline-ms=N] [--threads=N] [--quiet]\n"
+           "       hypertree_cli build-snapshot <file.hmetis> <out.htsnap> "
+           "[--seed=S] [--deadline-ms=N] [--threads=N] [--build-info=TEXT]\n"
+           "       hypertree_cli serve <snapshot.htsnap> [--deadline-ms=N] "
+           "[--threads=N]\n";
+    return 2;
+  }
+  if (options.command == "build-snapshot") return run_build_snapshot(options);
+  if (options.command == "serve") return run_serve(options);
+  return run_partition(options);
 }

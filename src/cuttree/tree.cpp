@@ -34,6 +34,45 @@ void Tree::set_vertex_node(VertexId vertex, NodeId node) {
   vertex_node_[static_cast<std::size_t>(vertex)] = node;
 }
 
+StatusOr<Tree> Tree::from_arrays(std::span<const NodeId> parent,
+                                 std::span<const double> node_weight,
+                                 std::span<const double> edge_weight,
+                                 std::span<const NodeId> vertex_node) {
+  if (parent.empty()) {
+    return Status::InvalidArgument("tree arrays empty");
+  }
+  if (parent.size() != node_weight.size() ||
+      parent.size() != edge_weight.size()) {
+    return Status::InvalidArgument("tree array lengths disagree");
+  }
+  const auto n = static_cast<NodeId>(parent.size());
+  if (parent[0] != -1) {
+    return Status::InvalidArgument("tree root (node 0) has a parent");
+  }
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId p = parent[static_cast<std::size_t>(v)];
+    if (p < 0 || p >= v) {
+      return Status::InvalidArgument("tree parent out of order at node " +
+                                     std::to_string(v));
+    }
+  }
+  for (const NodeId node : vertex_node) {
+    if (node < 0 || node >= n) {
+      return Status::InvalidArgument("tree vertex embedding out of range");
+    }
+  }
+  Tree out;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    out.add_node(parent[idx], node_weight[idx], edge_weight[idx]);
+  }
+  out.reserve_vertices(static_cast<VertexId>(vertex_node.size()));
+  for (std::size_t i = 0; i < vertex_node.size(); ++i) {
+    out.set_vertex_node(static_cast<VertexId>(i), vertex_node[i]);
+  }
+  return out;
+}
+
 ht::graph::Graph Tree::as_graph() const {
   ht::graph::Graph g(num_nodes());
   for (NodeId v = 0; v < num_nodes(); ++v) {

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/status.hpp"
 
 namespace ht::cuttree {
 
@@ -65,6 +67,17 @@ class Tree {
   void reserve_vertices(VertexId count) {
     vertex_node_.assign(static_cast<std::size_t>(count), -1);
   }
+
+  /// Reconstructs a tree from flat arrays (the snapshot loader's entry
+  /// point: the arrays come straight out of an mmap'ed, checksummed but
+  /// otherwise untrusted file). Validates every invariant add_node/
+  /// set_vertex_node would have enforced — root at node 0, parent[i] < i,
+  /// equal array lengths, every vertex embedded at a valid node — and
+  /// returns kInvalidArgument instead of crashing on violations.
+  static StatusOr<Tree> from_arrays(std::span<const NodeId> parent,
+                                    std::span<const double> node_weight,
+                                    std::span<const double> edge_weight,
+                                    std::span<const NodeId> vertex_node);
 
   /// The tree as an undirected Graph (node weights copied; edge weights
   /// from parent-edge weights).

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "util/check.hpp"
+#include "util/run_context.hpp"
 
 namespace ht::cuttree {
 
@@ -55,12 +56,16 @@ struct Solver {
     return best;
   }
 
-  void solve() {
+  /// False when the ambient RunContext stopped the run mid-DP (serving
+  /// queries carry per-query deadlines); the caller then reports an
+  /// invalid result tagged with the run's stop status.
+  bool solve() {
     const NodeId n = t.num_nodes();
     table.resize(static_cast<std::size_t>(n));
     sub.assign(static_cast<std::size_t>(n), 0);
     own_to_side1.assign(static_cast<std::size_t>(n), 0);
     for (NodeId v = n - 1; v >= 0; --v) {
+      if ((v & 255) == 0 && ht::run_stopped()) return false;
       const auto idx = static_cast<std::size_t>(v);
       sub[idx] = cnt[idx];
       for (NodeId c : t.children(v)) sub[idx] += sub[static_cast<std::size_t>(c)];
@@ -85,6 +90,7 @@ struct Solver {
       }
       table[idx].dp = std::move(dp);
     }
+    return true;
   }
 
   /// Reconstructs the assignment for node v in `state` hitting exactly j.
@@ -178,7 +184,7 @@ TreeBisectionResult balanced_tree_bisection(
     HT_CHECK(node != -1);
     ++solver.cnt[static_cast<std::size_t>(node)];
   }
-  solver.solve();
+  if (!solver.solve()) return out;
   const auto half =
       static_cast<std::int32_t>(counted_vertices.size() / 2);
   const auto& root_dp = solver.table[static_cast<std::size_t>(t.root())].dp;

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "util/check.hpp"
+#include "util/run_context.hpp"
 
 namespace ht::cuttree {
 
@@ -21,11 +22,14 @@ struct Solver {
 
   explicit Solver(const Tree& tree) : t(tree) {}
 
-  void solve() {
+  /// False when the ambient RunContext stopped the run mid-DP (per-query
+  /// deadlines on the serving path); the caller reports invalid then.
+  bool solve() {
     const NodeId n = t.num_nodes();
     dp.resize(static_cast<std::size_t>(n));
     sub.assign(static_cast<std::size_t>(n), 0);
     for (NodeId v = n - 1; v >= 0; --v) {
+      if ((v & 255) == 0 && ht::run_stopped()) return false;
       const auto idx = static_cast<std::size_t>(v);
       sub[idx] = cnt[idx];
       for (NodeId c : t.children(v))
@@ -64,6 +68,7 @@ struct Solver {
         }
       }
     }
+    return true;
   }
 
   void reconstruct(NodeId v, int side, std::int64_t j,
@@ -154,7 +159,7 @@ TreeEdgePartitionResult tree_edge_partition(
     HT_CHECK(node != -1);
     ++solver.cnt[static_cast<std::size_t>(node)];
   }
-  solver.solve();
+  if (!solver.solve()) return out;
   const auto& root_dp = solver.dp[static_cast<std::size_t>(t.root())];
   int best_side = -1;
   double best = kUnreachable;

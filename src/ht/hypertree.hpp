@@ -46,6 +46,13 @@
 #include "reduction/mku_bisection.hpp"
 #include "reduction/star_expansion.hpp"
 
+// Persistence + serving: .htsnap snapshots and the TreeServer query
+// surface (the build/serve split).
+#include "serve/snapshot_build.hpp"
+#include "serve/snapshot_reader.hpp"
+#include "serve/snapshot_writer.hpp"
+#include "serve/tree_server.hpp"
+
 // Presentation helpers used by the examples.
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -106,6 +113,17 @@ class Solver {
   /// Gomory–Hu tree for hypergraph s-t cuts (Lawler-expansion oracle).
   StatusOr<flow::HypergraphGomoryHuRunResult> gomory_hu(
       const hypergraph::Hypergraph& h);
+
+  /// Builds every snapshot artifact (Gomory–Hu, vertex cut tree,
+  /// decomposition tree) and atomically publishes the .htsnap file.
+  /// Anytime: a deadline mid-build still writes a valid snapshot whose
+  /// incomplete artifacts have their completeness flags cleared (the
+  /// report carries the per-artifact statuses); the returned status is
+  /// the run's stop status.
+  Status build_snapshot(const hypergraph::Hypergraph& h,
+                        const std::string& path,
+                        snapshot::BuildOptions options = {},
+                        snapshot::BuildReport* report = nullptr);
 
   /// Parses an hMetis file; kInvalidArgument (no value) on malformed
   /// input. No RunContext involvement — IO is not interruptible.

@@ -65,6 +65,20 @@ StatusOr<core::BisectionReport> Solver::bisect_via_cut_tree(
   return {scope.status(), std::move(report)};
 }
 
+Status Solver::build_snapshot(const hypergraph::Hypergraph& h,
+                              const std::string& path,
+                              snapshot::BuildOptions options,
+                              snapshot::BuildReport* report) {
+  apply_seed(ctx_, options);
+  prepare_pool();
+  RunScope scope(ctx_);
+  Status write_status = snapshot::write(h, path, options, report);
+  if (!write_status.ok()) return write_status;
+  // Surface the run's stop reason (the snapshot is still valid — its
+  // completeness flags record which artifacts were cut short).
+  return scope.status();
+}
+
 StatusOr<flow::GomoryHuRunResult> Solver::gomory_hu(const graph::Graph& g) {
   prepare_pool();
   RunScope scope(ctx_);

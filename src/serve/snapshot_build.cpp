@@ -1,0 +1,212 @@
+#include "serve/snapshot_build.hpp"
+
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cuttree/decomposition_tree.hpp"
+#include "cuttree/vertex_cut_tree.hpp"
+#include "flow/hypergraph_gomory_hu.hpp"
+#include "obs/trace.hpp"
+#include "reduction/clique_expansion.hpp"
+#include "reduction/star_expansion.hpp"
+#include "util/run_context.hpp"
+
+namespace ht::snapshot {
+
+namespace {
+
+using hypergraph::EdgeId;
+using hypergraph::Hypergraph;
+using hypergraph::VertexId;
+
+template <typename T>
+std::span<const T> to_span(const std::vector<T>& v) {
+  return {v.data(), v.size()};
+}
+
+/// Flattens a cuttree::Tree into the four snapshot arrays.
+struct TreeArrays {
+  std::vector<std::int32_t> parent;
+  std::vector<double> node_weight;
+  std::vector<double> edge_weight;
+  std::vector<std::int32_t> vertex_node;
+
+  explicit TreeArrays(const cuttree::Tree& t) {
+    const auto n = static_cast<std::size_t>(t.num_nodes());
+    parent.reserve(n);
+    node_weight.reserve(n);
+    edge_weight.reserve(n);
+    for (cuttree::NodeId v = 0; v < t.num_nodes(); ++v) {
+      parent.push_back(t.parent(v));
+      node_weight.push_back(t.node_weight(v));
+      edge_weight.push_back(t.edge_weight(v));
+    }
+    const auto vertices = static_cast<std::size_t>(t.num_embedded_vertices());
+    vertex_node.reserve(vertices);
+    for (cuttree::VertexId v = 0; v < t.num_embedded_vertices(); ++v) {
+      vertex_node.push_back(t.node_of_vertex(v));
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<std::string> build(const Hypergraph& h, const BuildOptions& options,
+                            BuildReport* report) {
+  obs::TraceSpan span("snapshot.build");
+  if (!h.finalized()) {
+    return Status::InvalidArgument("snapshot build needs a finalized "
+                                   "hypergraph");
+  }
+  const VertexId n = h.num_vertices();
+  const EdgeId m = h.num_edges();
+  if (n < 2) {
+    return Status::InvalidArgument("snapshot build needs >= 2 vertices");
+  }
+
+  BuildReport local_report;
+  BuildReport& rep = report != nullptr ? *report : local_report;
+  rep = BuildReport{};
+
+  MetaBlock meta;
+  std::memset(&meta, 0, sizeof(meta));
+  meta.build_seed = options.seed;
+  meta.num_vertices = n;
+  meta.num_edges = m;
+  meta.total_edge_weight = h.total_edge_weight();
+  meta.total_vertex_weight = h.total_vertex_weight();
+  // meta.build_threads stays 0: like created_unix_s, the live thread count
+  // is provenance that would break byte-determinism across thread counts,
+  // so it is reported in BuildReport instead of the checksummed artifact.
+  rep.build_threads = static_cast<std::uint32_t>(env_default_threads());
+  if (const RunState* run = current_run_state(); run != nullptr) {
+    rep.build_threads =
+        run->context().threads != 0
+            ? static_cast<std::uint32_t>(run->context().threads)
+            : rep.build_threads;
+  }
+
+  // Hypergraph CSR — rebuilt from the public accessors, written as the
+  // flat arrays the reader serves zero-copy.
+  std::vector<double> vertex_weights(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    vertex_weights[static_cast<std::size_t>(v)] = h.vertex_weight(v);
+  }
+  std::vector<double> edge_weights(static_cast<std::size_t>(m));
+  std::vector<std::int64_t> pin_offsets;
+  std::vector<std::int32_t> pins;
+  pin_offsets.reserve(static_cast<std::size_t>(m) + 1);
+  pin_offsets.push_back(0);
+  for (EdgeId e = 0; e < m; ++e) {
+    edge_weights[static_cast<std::size_t>(e)] = h.edge_weight(e);
+    for (VertexId v : h.pins(e)) pins.push_back(v);
+    pin_offsets.push_back(static_cast<std::int64_t>(pins.size()));
+  }
+  meta.num_pins = static_cast<std::int64_t>(pins.size());
+
+  Writer writer;
+  writer.set_timestamp(options.timestamp_unix_s);
+
+  // Gomory–Hu tree: exact min s-t cut answers. Needs connectivity.
+  std::vector<std::int32_t> gh_parent;
+  std::vector<double> gh_parent_cut;
+  if (options.include_gomory_hu && hypergraph::is_connected(h)) {
+    const auto gh = flow::hypergraph_gomory_hu_run(h);
+    rep.gomory_hu_status = gh.status;
+    rep.gomory_hu_present = true;
+    gh_parent.assign(gh.tree.parent.begin(), gh.tree.parent.end());
+    gh_parent_cut = gh.tree.parent_cut;
+    meta.gh_root = gh.tree.root;
+    meta.gh_applied = gh.applied;
+    if (gh.status.ok()) meta.artifact_flags |= kGomoryHuComplete;
+  }
+
+  // Section 3.1 vertex cut tree of the star expansion (Corollary 3's
+  // serving artifact: bisection + set-cut queries become tree DPs).
+  std::optional<TreeArrays> vct;
+  std::vector<std::int32_t> vct_separators;
+  if (options.include_vertex_cut_tree) {
+    const auto star = reduction::star_expansion(h);
+    cuttree::VertexCutTreeOptions vct_options;
+    vct_options.seed = options.seed;
+    vct_options.alpha = options.alpha;
+    const auto result =
+        cuttree::build_vertex_cut_tree(star.graph, vct_options);
+    rep.vertex_cut_tree_status = result.status;
+    rep.vertex_cut_tree_present = true;
+    rep.vct_nodes = result.tree.num_nodes();
+    vct.emplace(result.tree);
+    vct_separators.assign(result.separator_vertices.begin(),
+                          result.separator_vertices.end());
+    meta.vct_num_nodes = result.tree.num_nodes();
+    meta.vct_num_pieces = result.num_pieces;
+    meta.vct_separator_weight = result.separator_weight;
+    meta.vct_threshold = result.threshold;
+    meta.vct_root = result.tree.root();
+    if (result.status.ok()) meta.artifact_flags |= kVertexCutTreeComplete;
+  }
+
+  // Decomposition tree of the clique expansion (k-way queries via the
+  // edge-cut tree DP, Lemma 1 distortion).
+  std::optional<TreeArrays> decomp;
+  if (options.include_decomposition) {
+    graph::Graph expansion = reduction::clique_expansion(h);
+    if (!expansion.finalized()) expansion.finalize();
+    cuttree::DecompositionOptions decomp_options;
+    decomp_options.seed = options.seed;
+    auto result =
+        cuttree::build_decomposition_tree_run(expansion, decomp_options);
+    rep.decomposition_status = result.status;
+    rep.decomposition_present = true;
+    rep.decomp_nodes = result.tree.num_nodes();
+    decomp.emplace(result.tree);
+    meta.decomp_num_nodes = result.tree.num_nodes();
+    meta.decomp_root = result.tree.root();
+    if (result.status.ok()) meta.artifact_flags |= kDecompositionComplete;
+  }
+
+  writer.add_meta(meta);
+  writer.add_span(SectionKind::kVertexWeights, to_span(vertex_weights));
+  writer.add_span(SectionKind::kEdgeWeights, to_span(edge_weights));
+  writer.add_span(SectionKind::kPinOffsets, to_span(pin_offsets));
+  writer.add_span(SectionKind::kPins, to_span(pins));
+  if (rep.gomory_hu_present) {
+    writer.add_span(SectionKind::kGhParent, to_span(gh_parent));
+    writer.add_span(SectionKind::kGhParentCut, to_span(gh_parent_cut));
+  }
+  if (vct.has_value()) {
+    writer.add_span(SectionKind::kVctParent, to_span(vct->parent));
+    writer.add_span(SectionKind::kVctNodeWeight, to_span(vct->node_weight));
+    writer.add_span(SectionKind::kVctEdgeWeight, to_span(vct->edge_weight));
+    writer.add_span(SectionKind::kVctVertexNode, to_span(vct->vertex_node));
+    writer.add_span(SectionKind::kVctSeparators, to_span(vct_separators));
+  }
+  if (decomp.has_value()) {
+    writer.add_span(SectionKind::kDecompParent, to_span(decomp->parent));
+    writer.add_span(SectionKind::kDecompNodeWeight,
+                    to_span(decomp->node_weight));
+    writer.add_span(SectionKind::kDecompEdgeWeight,
+                    to_span(decomp->edge_weight));
+    writer.add_span(SectionKind::kDecompVertexNode,
+                    to_span(decomp->vertex_node));
+  }
+  if (!options.build_info.empty()) {
+    writer.add_build_info(options.build_info);
+  }
+
+  auto bytes = writer.serialize();
+  if (!bytes.ok()) return bytes.status();
+  rep.bytes = bytes->size();
+  return bytes;
+}
+
+Status write(const Hypergraph& h, const std::string& path,
+             const BuildOptions& options, BuildReport* report) {
+  auto bytes = build(h, options, report);
+  if (!bytes.ok()) return bytes.status();
+  return write_bytes_atomic(path, *bytes);
+}
+
+}  // namespace ht::snapshot

@@ -1,0 +1,150 @@
+#include "serve/snapshot_reader.hpp"
+
+#include <cstring>
+
+#include "util/hash64.hpp"
+
+namespace ht::snapshot {
+
+namespace {
+
+std::uint32_t byteswap32(std::uint32_t v) {
+  return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+         ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+}
+
+}  // namespace
+
+const RawSection* Snapshot::find(SectionKind kind) const {
+  for (const RawSection& s : toc_) {
+    if (s.kind == static_cast<std::uint32_t>(kind)) return &s;
+  }
+  return nullptr;
+}
+
+std::string Snapshot::build_info() const {
+  const RawSection* s = find(SectionKind::kBuildInfo);
+  if (s == nullptr) return {};
+  return std::string(reinterpret_cast<const char*>(data_ + s->offset),
+                     static_cast<std::size_t>(s->byte_size));
+}
+
+Status Snapshot::parse() {
+  // Header: size, magic, endianness, version window, self-checksum.
+  if (size_ < sizeof(RawHeader)) {
+    return Status::InvalidArgument("snapshot too small for a header (" +
+                                   std::to_string(size_) + " bytes)");
+  }
+  std::memcpy(&header_, data_, sizeof(RawHeader));
+  if (!magic_matches(header_.magic)) {
+    return Status::InvalidArgument("not a snapshot: bad magic");
+  }
+  if (header_.endian_mark != kEndianMark) {
+    if (header_.endian_mark == byteswap32(kEndianMark)) {
+      return Status::InvalidArgument(
+          "snapshot was written on an opposite-endianness host");
+    }
+    return Status::InvalidArgument("snapshot endian mark corrupt");
+  }
+  if (header_.version < kMinSupportedVersion ||
+      header_.version > kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot format version " +
+        std::to_string(header_.version) + " (this build reads " +
+        std::to_string(kMinSupportedVersion) + ".." +
+        std::to_string(kFormatVersion) + ")");
+  }
+  if (header_.header_bytes != sizeof(RawHeader)) {
+    return Status::InvalidArgument("snapshot header size mismatch");
+  }
+  const std::uint64_t expected_header_hash =
+      hash64(data_, offsetof(RawHeader, header_checksum), kChecksumSeed);
+  if (header_.header_checksum != expected_header_hash) {
+    return Status::InvalidArgument("snapshot header checksum mismatch");
+  }
+  if (header_.file_size != size_) {
+    return Status::InvalidArgument(
+        "snapshot truncated: header claims " +
+        std::to_string(header_.file_size) + " bytes, file has " +
+        std::to_string(size_));
+  }
+
+  // TOC: bounds (overflow-safe), alignment, checksum.
+  if (header_.section_count > kMaxSections) {
+    return Status::InvalidArgument("snapshot section count implausible");
+  }
+  const std::uint64_t toc_bytes =
+      static_cast<std::uint64_t>(header_.section_count) * sizeof(RawSection);
+  if (header_.toc_offset < sizeof(RawHeader) ||
+      header_.toc_offset % kSectionAlignment != 0 ||
+      header_.toc_offset > size_ || toc_bytes > size_ - header_.toc_offset) {
+    return Status::InvalidArgument("snapshot TOC out of bounds");
+  }
+  const unsigned char* toc_ptr = data_ + header_.toc_offset;
+  if (header_.toc_checksum != hash64(toc_ptr, toc_bytes, kChecksumSeed)) {
+    return Status::InvalidArgument("snapshot TOC checksum mismatch");
+  }
+  toc_.resize(header_.section_count);
+  if (toc_bytes > 0) std::memcpy(toc_.data(), toc_ptr, toc_bytes);
+
+  // Sections: alignment, bounds (overflow-safe), element-size
+  // divisibility, duplicate kinds, payload checksums.
+  bool has_meta = false;
+  for (std::size_t i = 0; i < toc_.size(); ++i) {
+    const RawSection& s = toc_[i];
+    if (s.offset % kSectionAlignment != 0) {
+      return Status::InvalidArgument("snapshot section misaligned");
+    }
+    if (s.offset > size_ || s.byte_size > size_ - s.offset) {
+      return Status::InvalidArgument(
+          "snapshot section out of bounds (offset " +
+          std::to_string(s.offset) + ", size " +
+          std::to_string(s.byte_size) + ", file " + std::to_string(size_) +
+          ")");
+    }
+    if (s.elem_size == 0 || s.byte_size % s.elem_size != 0) {
+      return Status::InvalidArgument(
+          "snapshot section size not a multiple of its element size");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (toc_[j].kind == s.kind) {
+        return Status::InvalidArgument("snapshot has duplicate sections");
+      }
+    }
+    if (s.checksum != hash64(data_ + s.offset, s.byte_size, kChecksumSeed)) {
+      return Status::InvalidArgument("snapshot section checksum mismatch");
+    }
+    if (s.kind == static_cast<std::uint32_t>(SectionKind::kMeta)) {
+      if (s.byte_size != sizeof(MetaBlock)) {
+        return Status::InvalidArgument("snapshot meta block size mismatch");
+      }
+      has_meta = true;
+    }
+  }
+  if (!has_meta) {
+    return Status::InvalidArgument("snapshot has no meta section");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Snapshot> open(const std::string& path) {
+  auto file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  Snapshot snap;
+  snap.file_ = std::move(*file);
+  snap.data_ = snap.file_.data();
+  snap.size_ = snap.file_.size();
+  if (Status s = snap.parse(); !s.ok()) return s;
+  return snap;
+}
+
+StatusOr<Snapshot> open_bytes(std::string bytes) {
+  Snapshot snap;
+  snap.owned_ = std::move(bytes);
+  snap.data_ = reinterpret_cast<const unsigned char*>(snap.owned_.data());
+  snap.size_ = snap.owned_.size();
+  if (Status s = snap.parse(); !s.ok()) return s;
+  return snap;
+}
+
+}  // namespace ht::snapshot

@@ -1,0 +1,109 @@
+// Validated, zero-copy access to .htsnap snapshots — the serve side of
+// the build/serve split.
+//
+// open() maps the file (util/mmap_file.hpp) and verifies the whole
+// integrity chain — magic, endianness, version window, header checksum,
+// TOC bounds + checksum, then every section's alignment, bounds,
+// element-size divisibility and payload checksum — before a Snapshot is
+// returned. Every failure is a Status with a precise message; no input,
+// however malformed, may crash the loader (the test_snapshot corpus and
+// the ASan/UBSan CI job enforce this).
+//
+// A Snapshot hands out spans pointing straight into the mapping: the
+// hypergraph CSR of a multi-gigabyte snapshot is never copied. Sections
+// with unknown kinds are skipped (forward compatibility); duplicate kinds
+// are rejected.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/snapshot_format.hpp"
+#include "util/mmap_file.hpp"
+#include "util/status.hpp"
+
+namespace ht::snapshot {
+
+class Snapshot {
+ public:
+  Snapshot() = default;
+  // Moves rebind data_ to the destination's own storage rather than
+  // trusting the moved-from string's buffer to survive.
+  Snapshot(Snapshot&& other) noexcept { *this = std::move(other); }
+  Snapshot& operator=(Snapshot&& other) noexcept {
+    if (this != &other) {
+      file_ = std::move(other.file_);
+      owned_ = std::move(other.owned_);
+      size_ = other.size_;
+      header_ = other.header_;
+      toc_ = std::move(other.toc_);
+      data_ = file_.mapped()
+                  ? file_.data()
+                  : reinterpret_cast<const unsigned char*>(owned_.data());
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  const RawHeader& header() const { return header_; }
+  std::size_t size_bytes() const { return size_; }
+
+  bool has(SectionKind kind) const { return find(kind) != nullptr; }
+
+  /// Span over a section payload, zero-copy into the mapping.
+  /// kInvalidArgument when the section is absent or its elem_size does
+  /// not match sizeof(T).
+  template <typename T>
+  StatusOr<std::span<const T>> section(SectionKind kind) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const RawSection* s = find(kind);
+    if (s == nullptr) {
+      return Status::InvalidArgument("snapshot section " +
+                                     std::to_string(static_cast<unsigned>(
+                                         kind)) +
+                                     " absent");
+    }
+    if (s->elem_size != sizeof(T)) {
+      return Status::InvalidArgument("snapshot section element size mismatch");
+    }
+    return std::span<const T>(reinterpret_cast<const T*>(data_ + s->offset),
+                              static_cast<std::size_t>(s->byte_size) /
+                                  sizeof(T));
+  }
+
+  /// The kMeta record (required in every valid snapshot; open() rejects a
+  /// file without it, so this accessor cannot fail afterwards).
+  const MetaBlock& meta() const {
+    return *reinterpret_cast<const MetaBlock*>(
+        data_ + find(SectionKind::kMeta)->offset);
+  }
+
+  /// The kBuildInfo text, or "" when absent.
+  std::string build_info() const;
+
+  friend StatusOr<Snapshot> open(const std::string& path);
+  friend StatusOr<Snapshot> open_bytes(std::string bytes);
+
+ private:
+  const RawSection* find(SectionKind kind) const;
+  Status parse();  // validates data_/size_ and fills header_/toc_
+
+  MappedFile file_;      // owns the mapping when opened from a path
+  std::string owned_;    // owns the bytes when opened from memory
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  RawHeader header_{};
+  std::vector<RawSection> toc_;
+};
+
+/// Maps and fully validates a snapshot file.
+StatusOr<Snapshot> open(const std::string& path);
+
+/// Same validation over an in-memory image (used by tests and by the
+/// writer's self-check); the Snapshot takes ownership of the bytes.
+StatusOr<Snapshot> open_bytes(std::string bytes);
+
+}  // namespace ht::snapshot

@@ -1,0 +1,477 @@
+#include "serve/tree_server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "cuttree/tree_bisection.hpp"
+#include "cuttree/tree_edge_partition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ht {
+
+namespace serve {
+
+namespace {
+
+using snapshot::SectionKind;
+
+/// BFS over parent pointers from `root`: exactly one -1 (at the root),
+/// every other parent in range, and the whole forest reachable — i.e. the
+/// arrays really encode one rooted tree, not a cycle or a forest.
+Status validate_rooted_parent(std::span<const std::int32_t> parent,
+                              std::int32_t root, const char* what) {
+  const auto n = static_cast<std::int32_t>(parent.size());
+  if (root < 0 || root >= n) {
+    return Status::InvalidArgument(std::string(what) + ": root out of range");
+  }
+  std::vector<std::vector<std::int32_t>> children(
+      static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v) {
+    const std::int32_t p = parent[static_cast<std::size_t>(v)];
+    if (v == root) {
+      if (p != -1) {
+        return Status::InvalidArgument(std::string(what) +
+                                       ": root has a parent");
+      }
+      continue;
+    }
+    if (p < 0 || p >= n) {
+      return Status::InvalidArgument(std::string(what) +
+                                     ": parent out of range");
+    }
+    children[static_cast<std::size_t>(p)].push_back(v);
+  }
+  std::vector<std::int32_t> stack{root};
+  std::int32_t visited = 0;
+  while (!stack.empty()) {
+    const std::int32_t v = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (std::int32_t c : children[static_cast<std::size_t>(v)]) {
+      stack.push_back(c);
+    }
+  }
+  if (visited != n) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": parent pointers are not a tree");
+  }
+  return Status::Ok();
+}
+
+StatusOr<cuttree::Tree> load_tree(const snapshot::Snapshot& snap,
+                                  SectionKind parent_kind,
+                                  SectionKind node_weight_kind,
+                                  SectionKind edge_weight_kind,
+                                  SectionKind vertex_node_kind,
+                                  std::int32_t expected_nodes,
+                                  std::int64_t expected_vertices,
+                                  const char* what) {
+  auto parent = snap.section<std::int32_t>(parent_kind);
+  auto node_weight = snap.section<double>(node_weight_kind);
+  auto edge_weight = snap.section<double>(edge_weight_kind);
+  auto vertex_node = snap.section<std::int32_t>(vertex_node_kind);
+  if (!parent.ok()) return parent.status();
+  if (!node_weight.ok()) return node_weight.status();
+  if (!edge_weight.ok()) return edge_weight.status();
+  if (!vertex_node.ok()) return vertex_node.status();
+  if (static_cast<std::int64_t>(parent->size()) != expected_nodes) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": node count disagrees with meta");
+  }
+  if (static_cast<std::int64_t>(vertex_node->size()) != expected_vertices) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": embedded vertex count disagrees with "
+                                   "meta");
+  }
+  auto tree = cuttree::Tree::from_arrays(*parent, *node_weight, *edge_weight,
+                                         *vertex_node);
+  if (!tree.ok()) {
+    return Status::InvalidArgument(std::string(what) + ": " +
+                                   tree.status().message());
+  }
+  return tree;
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const LoadedSnapshot>> LoadedSnapshot::load(
+    snapshot::Snapshot snap) {
+  auto out = std::make_shared<LoadedSnapshot>();
+  out->meta = snap.meta();
+  const snapshot::MetaBlock& meta = out->meta;
+  const std::int32_t n = meta.num_vertices;
+  const std::int32_t m = meta.num_edges;
+  if (n < 2 || m < 0 || meta.num_pins < 0) {
+    return Status::InvalidArgument("snapshot meta: bad instance counts");
+  }
+
+  // The snapshot must outlive the spans; move it in before slicing.
+  out->snap = std::move(snap);
+  const snapshot::Snapshot& s = out->snap;
+
+  auto vertex_weights = s.section<double>(SectionKind::kVertexWeights);
+  auto edge_weights = s.section<double>(SectionKind::kEdgeWeights);
+  auto pin_offsets = s.section<std::int64_t>(SectionKind::kPinOffsets);
+  auto pins = s.section<std::int32_t>(SectionKind::kPins);
+  if (!vertex_weights.ok()) return vertex_weights.status();
+  if (!edge_weights.ok()) return edge_weights.status();
+  if (!pin_offsets.ok()) return pin_offsets.status();
+  if (!pins.ok()) return pins.status();
+  if (static_cast<std::int64_t>(vertex_weights->size()) != n ||
+      static_cast<std::int64_t>(edge_weights->size()) != m ||
+      static_cast<std::int64_t>(pin_offsets->size()) != m + 1 ||
+      static_cast<std::int64_t>(pins->size()) != meta.num_pins) {
+    return Status::InvalidArgument("snapshot CSR: array lengths disagree "
+                                   "with meta");
+  }
+  if ((*pin_offsets)[0] != 0 ||
+      (*pin_offsets)[static_cast<std::size_t>(m)] !=
+          static_cast<std::int64_t>(pins->size())) {
+    return Status::InvalidArgument("snapshot CSR: pin offsets do not span "
+                                   "the pin array");
+  }
+  for (std::int32_t e = 0; e < m; ++e) {
+    if ((*pin_offsets)[static_cast<std::size_t>(e)] >
+        (*pin_offsets)[static_cast<std::size_t>(e) + 1]) {
+      return Status::InvalidArgument("snapshot CSR: pin offsets decrease");
+    }
+  }
+  for (std::int32_t pin : *pins) {
+    if (pin < 0 || pin >= n) {
+      return Status::InvalidArgument("snapshot CSR: pin out of range");
+    }
+  }
+  out->vertex_weights = *vertex_weights;
+  out->edge_weights = *edge_weights;
+  out->pin_offsets = *pin_offsets;
+  out->pins = *pins;
+
+  if (s.has(SectionKind::kGhParent)) {
+    auto gh_parent = s.section<std::int32_t>(SectionKind::kGhParent);
+    auto gh_cut = s.section<double>(SectionKind::kGhParentCut);
+    if (!gh_parent.ok()) return gh_parent.status();
+    if (!gh_cut.ok()) return gh_cut.status();
+    if (static_cast<std::int64_t>(gh_parent->size()) != n ||
+        static_cast<std::int64_t>(gh_cut->size()) != n) {
+      return Status::InvalidArgument("snapshot Gomory-Hu: array length is "
+                                     "not the vertex count");
+    }
+    if (Status st =
+            validate_rooted_parent(*gh_parent, meta.gh_root, "Gomory-Hu");
+        !st.ok()) {
+      return st;
+    }
+    flow::HypergraphGomoryHuTree gh;
+    gh.parent.assign(gh_parent->begin(), gh_parent->end());
+    gh.parent_cut.assign(gh_cut->begin(), gh_cut->end());
+    gh.root = meta.gh_root;
+    out->gomory_hu.emplace(std::move(gh));
+  }
+
+  if (s.has(SectionKind::kVctParent)) {
+    auto tree = load_tree(s, SectionKind::kVctParent,
+                          SectionKind::kVctNodeWeight,
+                          SectionKind::kVctEdgeWeight,
+                          SectionKind::kVctVertexNode, meta.vct_num_nodes,
+                          static_cast<std::int64_t>(n) + m,
+                          "vertex cut tree");
+    if (!tree.ok()) return tree.status();
+    if (tree->root() != meta.vct_root) {
+      return Status::InvalidArgument("vertex cut tree: root disagrees with "
+                                     "meta");
+    }
+    out->vertex_cut_tree.emplace(std::move(*tree));
+  }
+
+  if (s.has(SectionKind::kDecompParent)) {
+    auto tree = load_tree(s, SectionKind::kDecompParent,
+                          SectionKind::kDecompNodeWeight,
+                          SectionKind::kDecompEdgeWeight,
+                          SectionKind::kDecompVertexNode,
+                          meta.decomp_num_nodes, n, "decomposition tree");
+    if (!tree.ok()) return tree.status();
+    if (tree->root() != meta.decomp_root) {
+      return Status::InvalidArgument("decomposition tree: root disagrees "
+                                     "with meta");
+    }
+    out->decomposition.emplace(std::move(*tree));
+  }
+
+  return std::shared_ptr<const LoadedSnapshot>(std::move(out));
+}
+
+StatusOr<std::shared_ptr<const LoadedSnapshot>> LoadedSnapshot::load_file(
+    const std::string& path) {
+  auto snap = snapshot::open(path);
+  if (!snap.ok()) return snap.status();
+  return load(std::move(*snap));
+}
+
+double LoadedSnapshot::cut_weight(const std::vector<bool>& side) const {
+  double cut = 0.0;
+  const std::int32_t m = meta.num_edges;
+  for (std::int32_t e = 0; e < m; ++e) {
+    const auto begin = static_cast<std::size_t>(
+        pin_offsets[static_cast<std::size_t>(e)]);
+    const auto end = static_cast<std::size_t>(
+        pin_offsets[static_cast<std::size_t>(e) + 1]);
+    bool saw0 = false;
+    bool saw1 = false;
+    for (std::size_t i = begin; i < end && !(saw0 && saw1); ++i) {
+      (side[static_cast<std::size_t>(pins[i])] ? saw1 : saw0) = true;
+    }
+    if (saw0 && saw1) cut += edge_weights[static_cast<std::size_t>(e)];
+  }
+  return cut;
+}
+
+std::pair<double, double> LoadedSnapshot::kway_cost(
+    const std::vector<std::int32_t>& part) const {
+  double cut = 0.0;
+  double connectivity = 0.0;
+  const std::int32_t m = meta.num_edges;
+  std::vector<std::int32_t> seen;
+  for (std::int32_t e = 0; e < m; ++e) {
+    const auto begin = static_cast<std::size_t>(
+        pin_offsets[static_cast<std::size_t>(e)]);
+    const auto end = static_cast<std::size_t>(
+        pin_offsets[static_cast<std::size_t>(e) + 1]);
+    seen.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::int32_t p = part[static_cast<std::size_t>(pins[i])];
+      if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
+        seen.push_back(p);
+      }
+    }
+    if (seen.size() > 1) {
+      const double w = edge_weights[static_cast<std::size_t>(e)];
+      cut += w;
+      connectivity += w * static_cast<double>(seen.size() - 1);
+    }
+  }
+  return {cut, connectivity};
+}
+
+}  // namespace serve
+
+struct TreeServer::Shared {
+  mutable std::mutex mu;
+  std::shared_ptr<const serve::LoadedSnapshot> state;  // guarded by mu
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> swaps{0};
+};
+
+namespace {
+
+/// Epoch acquire + per-query bookkeeping shared by every query method.
+struct QueryGuard {
+  std::shared_ptr<const serve::LoadedSnapshot> state;
+  RunScope scope;
+
+  QueryGuard(std::shared_ptr<const serve::LoadedSnapshot> s,
+             const RunContext& ctx)
+      : state(std::move(s)), scope(ctx) {
+    obs::MetricsRegistry::global().counter("serve.queries").add();
+  }
+
+  /// Poll once (deadline / cancel) before starting the DP.
+  Status admission() { return scope.state().check(); }
+
+  /// Maps an invalid DP result to the run's stop status (deadline /
+  /// cancel latched mid-DP) or Internal for a genuine DP failure.
+  Status dp_failure(const char* what) const {
+    obs::MetricsRegistry::global().counter("serve.query_errors").add();
+    Status stop = scope.status();
+    if (!stop.ok()) return stop;
+    return Status::Internal(std::string(what) + " DP produced no answer");
+  }
+};
+
+}  // namespace
+
+StatusOr<TreeServer> TreeServer::open(const std::string& path) {
+  auto state = serve::LoadedSnapshot::load_file(path);
+  if (!state.ok()) return state.status();
+  return from_state(std::move(*state));
+}
+
+TreeServer TreeServer::from_state(
+    std::shared_ptr<const serve::LoadedSnapshot> state) {
+  auto shared = std::make_shared<Shared>();
+  shared->state = std::move(state);
+  return TreeServer(std::move(shared));
+}
+
+Status TreeServer::swap(const std::string& path) {
+  obs::TraceSpan span("serve.swap");
+  // Load and validate entirely off the query path: a broken file leaves
+  // the current epoch serving untouched.
+  auto next = serve::LoadedSnapshot::load_file(path);
+  if (!next.ok()) {
+    obs::MetricsRegistry::global().counter("serve.swap_failures").add();
+    return next.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->state = std::move(*next);
+  }
+  shared_->swaps.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::global().counter("serve.swaps").add();
+  return Status::Ok();
+}
+
+std::shared_ptr<const serve::LoadedSnapshot> TreeServer::state() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->state;
+}
+
+StatusOr<TreeServer::MinCutAnswer> TreeServer::min_cut(
+    std::int32_t s, std::int32_t t, const RunContext& ctx) const {
+  obs::TraceSpan span("serve.min_cut");
+  shared_->queries.fetch_add(1, std::memory_order_relaxed);
+  QueryGuard guard(state(), ctx);
+  if (Status st = guard.admission(); !st.ok()) return st;
+  const serve::LoadedSnapshot& snap = *guard.state;
+  if (!snap.gomory_hu.has_value()) {
+    return Status::InvalidArgument("snapshot has no Gomory-Hu tree");
+  }
+  const std::int32_t n = snap.meta.num_vertices;
+  if (s < 0 || s >= n || t < 0 || t >= n || s == t) {
+    return Status::InvalidArgument("min_cut needs distinct vertices in "
+                                   "[0, n)");
+  }
+  MinCutAnswer answer;
+  answer.value = snap.gomory_hu->min_cut(s, t);
+  answer.exact =
+      (snap.meta.artifact_flags & snapshot::kGomoryHuComplete) != 0;
+  return answer;
+}
+
+StatusOr<TreeServer::SetCutAnswer> TreeServer::set_cut(
+    const std::vector<std::int32_t>& a, const std::vector<std::int32_t>& b,
+    const RunContext& ctx) const {
+  obs::TraceSpan span("serve.set_cut");
+  shared_->queries.fetch_add(1, std::memory_order_relaxed);
+  QueryGuard guard(state(), ctx);
+  if (Status st = guard.admission(); !st.ok()) return st;
+  const serve::LoadedSnapshot& snap = *guard.state;
+  if (!snap.vertex_cut_tree.has_value()) {
+    return Status::InvalidArgument("snapshot has no vertex cut tree");
+  }
+  const std::int32_t n = snap.meta.num_vertices;
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("set_cut needs non-empty sides");
+  }
+  std::vector<bool> in_a(static_cast<std::size_t>(n), false);
+  for (std::int32_t v : a) {
+    if (v < 0 || v >= n) {
+      return Status::InvalidArgument("set_cut vertex out of range");
+    }
+    in_a[static_cast<std::size_t>(v)] = true;
+  }
+  for (std::int32_t v : b) {
+    if (v < 0 || v >= n) {
+      return Status::InvalidArgument("set_cut vertex out of range");
+    }
+    if (in_a[static_cast<std::size_t>(v)]) {
+      return Status::InvalidArgument("set_cut sides must be disjoint");
+    }
+  }
+  SetCutAnswer answer;
+  answer.value = cuttree::tree_vertex_cut_dp(*snap.vertex_cut_tree, a, b);
+  return answer;
+}
+
+StatusOr<TreeServer::BisectionAnswer> TreeServer::bisection(
+    const RunContext& ctx) const {
+  obs::TraceSpan span("serve.bisection");
+  shared_->queries.fetch_add(1, std::memory_order_relaxed);
+  QueryGuard guard(state(), ctx);
+  if (Status st = guard.admission(); !st.ok()) return st;
+  const serve::LoadedSnapshot& snap = *guard.state;
+  if (!snap.vertex_cut_tree.has_value()) {
+    return Status::InvalidArgument("snapshot has no vertex cut tree");
+  }
+  const std::int32_t n = snap.meta.num_vertices;
+  if (n % 2 != 0) {
+    return Status::InvalidArgument("bisection needs an even vertex count");
+  }
+  std::vector<cuttree::VertexId> counted(static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v) counted[static_cast<std::size_t>(v)] = v;
+  const auto result =
+      cuttree::balanced_tree_bisection(*snap.vertex_cut_tree, counted);
+  if (!result.valid) return guard.dp_failure("bisection");
+  BisectionAnswer answer;
+  answer.side = result.side;
+  answer.tree_cut = result.tree_cut;
+  answer.cut = snap.cut_weight(answer.side);
+  return answer;
+}
+
+StatusOr<TreeServer::KwayAnswer> TreeServer::kway(std::int32_t k,
+                                                  const RunContext& ctx) const {
+  obs::TraceSpan span("serve.kway");
+  shared_->queries.fetch_add(1, std::memory_order_relaxed);
+  QueryGuard guard(state(), ctx);
+  if (Status st = guard.admission(); !st.ok()) return st;
+  const serve::LoadedSnapshot& snap = *guard.state;
+  if (!snap.decomposition.has_value()) {
+    return Status::InvalidArgument("snapshot has no decomposition tree");
+  }
+  const std::int32_t n = snap.meta.num_vertices;
+  if (k < 2 || n % k != 0) {
+    return Status::InvalidArgument("kway needs k >= 2 dividing the vertex "
+                                   "count");
+  }
+  const std::int64_t block = n / k;
+  KwayAnswer answer;
+  answer.part.assign(static_cast<std::size_t>(n), k - 1);
+  std::vector<cuttree::VertexId> remaining(static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v) {
+    remaining[static_cast<std::size_t>(v)] = v;
+  }
+  // Peel one n/k block per round off the decomposition tree with the
+  // exact edge-cut DP; the last block is the residue.
+  for (std::int32_t round = 0; round + 1 < k; ++round) {
+    const auto result =
+        cuttree::tree_edge_partition(*snap.decomposition, remaining, block);
+    if (!result.valid) return guard.dp_failure("kway");
+    answer.tree_cut += result.tree_cut;
+    std::vector<cuttree::VertexId> next;
+    next.reserve(remaining.size() - static_cast<std::size_t>(block));
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (result.side[i]) {
+        answer.part[static_cast<std::size_t>(remaining[i])] = round;
+      } else {
+        next.push_back(remaining[i]);
+      }
+    }
+    remaining = std::move(next);
+  }
+  const auto cost = snap.kway_cost(answer.part);
+  answer.cut = cost.first;
+  answer.connectivity = cost.second;
+  return answer;
+}
+
+TreeServer::Info TreeServer::info() const {
+  Info info;
+  const auto snap = state();
+  info.num_vertices = snap->meta.num_vertices;
+  info.num_edges = snap->meta.num_edges;
+  info.format_version = snap->snap.header().version;
+  info.snapshot_bytes = snap->snap.size_bytes();
+  info.has_gomory_hu = snap->gomory_hu.has_value();
+  info.has_vertex_cut_tree = snap->vertex_cut_tree.has_value();
+  info.has_decomposition = snap->decomposition.has_value();
+  info.gomory_hu_exact =
+      (snap->meta.artifact_flags & snapshot::kGomoryHuComplete) != 0;
+  info.queries = shared_->queries.load(std::memory_order_relaxed);
+  info.swaps = shared_->swaps.load(std::memory_order_relaxed);
+  return info;
+}
+
+}  // namespace ht

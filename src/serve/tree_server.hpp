@@ -1,0 +1,165 @@
+// Long-lived serving layer over .htsnap snapshots — the "serve" half of
+// the OSRM-style extract→customize→serve split.
+//
+// A TreeServer loads one snapshot and answers queries purely through the
+// precomputed trees — min s-t cut (Gomory–Hu tree walk), dominating
+// delta_H(A, B) set-cut estimates (vertex-cut tree DP, Lemma 7),
+// balanced bisection (Corollary 3 tree DP) and balanced k-way partition
+// (decomposition-tree edge DP). No flow is ever solved on the query
+// path; the expensive build is amortized over unbounded queries.
+//
+// Hot-swap: swap(path) loads and fully validates a new snapshot OFF the
+// query path, then publishes it with a shared_ptr epoch handoff — each
+// query pins the epoch it started on, in-flight queries on the old
+// snapshot finish against the old mapping, and the old mapping is
+// unmapped when its last query drops the reference. A failed swap keeps
+// the current snapshot serving (the "mmap.bytes" gauge lets tests assert
+// no mapping leaks across swap storms). TreeServer is a copyable handle;
+// copies share the served epoch.
+//
+// Every query accepts a per-query RunContext (deadline / cancel), bound
+// via the usual RunScope so the tree DPs' cooperative polls observe it,
+// and runs under a trace span with "serve.*" metrics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cuttree/tree.hpp"
+#include "flow/hypergraph_gomory_hu.hpp"
+#include "serve/snapshot_reader.hpp"
+#include "util/run_context.hpp"
+#include "util/status.hpp"
+
+namespace ht {
+
+namespace serve {
+
+/// One fully validated, immutable serving epoch. The hypergraph CSR is
+/// served zero-copy out of the mapping; the O(n) tree structures are
+/// validated and materialized once at load so every query can run the
+/// existing (tested) tree DPs without touching the file again.
+struct LoadedSnapshot {
+  snapshot::Snapshot snap;  // owns the mapping the spans point into
+  snapshot::MetaBlock meta;
+
+  // Zero-copy views into the mapping.
+  std::span<const double> vertex_weights;
+  std::span<const double> edge_weights;
+  std::span<const std::int64_t> pin_offsets;
+  std::span<const std::int32_t> pins;
+
+  std::optional<flow::HypergraphGomoryHuTree> gomory_hu;
+  std::optional<cuttree::Tree> vertex_cut_tree;   // star expansion (n + m)
+  std::optional<cuttree::Tree> decomposition;     // clique expansion (n)
+
+  /// Validates and assembles a serving epoch from a mapped snapshot.
+  /// Every structural claim the file makes (array lengths vs. meta
+  /// counts, CSR monotonicity, pin ranges, tree invariants, Gomory–Hu
+  /// forest shape) is re-checked here — a checksum-valid but semantically
+  /// corrupt file is a Status, never UB.
+  static StatusOr<std::shared_ptr<const LoadedSnapshot>> load(
+      snapshot::Snapshot snap);
+  static StatusOr<std::shared_ptr<const LoadedSnapshot>> load_file(
+      const std::string& path);
+
+  /// Exact delta_H of a side assignment, evaluated over the mapped CSR.
+  double cut_weight(const std::vector<bool>& side) const;
+  /// Exact (cut, connectivity) of a k-way assignment over the mapped CSR.
+  std::pair<double, double> kway_cost(
+      const std::vector<std::int32_t>& part) const;
+};
+
+}  // namespace serve
+
+class TreeServer {
+ public:
+  struct MinCutAnswer {
+    double value = 0.0;
+    /// True when the snapshot's Gomory–Hu build ran to completion; a
+    /// snapshot frozen mid-build serves pessimistic lower bounds for
+    /// vertices beyond its stop point.
+    bool exact = false;
+  };
+
+  struct SetCutAnswer {
+    /// gamma_T estimate of delta_H(A, B): dominating (never below the
+    /// true cut is NOT guaranteed — it never *under*-reports: gamma_T >=
+    /// delta_H by Lemma 5 + Lemma 7), quality bounded by the tree's.
+    double value = 0.0;
+  };
+
+  struct BisectionAnswer {
+    std::vector<bool> side;  // per vertex, true = side 1; exactly n/2 each
+    double cut = 0.0;        // exact delta_H of `side`, evaluated on CSR
+    double tree_cut = 0.0;   // the DP objective w(X) on the cut tree
+  };
+
+  struct KwayAnswer {
+    std::vector<std::int32_t> part;  // per vertex in [0, k)
+    double cut = 0.0;                // exact delta_H over the CSR
+    double connectivity = 0.0;       // exact (lambda - 1) objective
+    double tree_cut = 0.0;           // accumulated tree-DP objective
+  };
+
+  struct Info {
+    std::int32_t num_vertices = 0;
+    std::int32_t num_edges = 0;
+    std::uint32_t format_version = 0;
+    std::size_t snapshot_bytes = 0;
+    bool has_gomory_hu = false;
+    bool has_vertex_cut_tree = false;
+    bool has_decomposition = false;
+    bool gomory_hu_exact = false;
+    std::uint64_t queries = 0;  // served by this handle's shared state
+    std::uint64_t swaps = 0;
+  };
+
+  /// Opens and validates a snapshot; the server is serving on return.
+  static StatusOr<TreeServer> open(const std::string& path);
+
+  /// Serves an already-loaded epoch (tests; in-process builds).
+  static TreeServer from_state(
+      std::shared_ptr<const serve::LoadedSnapshot> state);
+
+  /// Hot-swap: validate `path` off the query path, then atomically
+  /// publish it. On failure the current snapshot keeps serving and the
+  /// error is returned.
+  Status swap(const std::string& path);
+
+  /// The current epoch (pins the mapping for the caller's lifetime).
+  std::shared_ptr<const serve::LoadedSnapshot> state() const;
+
+  /// Exact min s-t hyperedge cut via the Gomory–Hu tree walk.
+  StatusOr<MinCutAnswer> min_cut(std::int32_t s, std::int32_t t,
+                                 const RunContext& ctx = {}) const;
+
+  /// Dominating delta_H(A, B) estimate via the vertex-cut-tree DP over
+  /// the star expansion (A, B disjoint, non-empty sets of vertex ids).
+  StatusOr<SetCutAnswer> set_cut(const std::vector<std::int32_t>& a,
+                                 const std::vector<std::int32_t>& b,
+                                 const RunContext& ctx = {}) const;
+
+  /// Corollary 3 balanced bisection from the stored cut tree (n even).
+  StatusOr<BisectionAnswer> bisection(const RunContext& ctx = {}) const;
+
+  /// Balanced k-way partition by peeling the decomposition tree with the
+  /// edge-cut DP (k >= 2, k divides n).
+  StatusOr<KwayAnswer> kway(std::int32_t k, const RunContext& ctx = {}) const;
+
+  Info info() const;
+
+ private:
+  struct Shared;
+  explicit TreeServer(std::shared_ptr<Shared> shared)
+      : shared_(std::move(shared)) {}
+
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace ht

@@ -1,0 +1,114 @@
+// 64-bit content hash for snapshot checksums (XXH64 algorithm).
+//
+// The snapshot format (src/serve/) stores one hash per section plus one
+// over the header and one over the section table, so a flipped bit
+// anywhere in a mapped file is caught at open() instead of surfacing as a
+// garbage query answer. XXH64 is used because it is fast enough to verify
+// a whole snapshot at load time (~10 GB/s), has no dependencies, and its
+// constants are fixed by the algorithm — two builds of this library hash
+// identical bytes to identical values, which the format's compatibility
+// gate relies on.
+//
+// This is a hash for integrity checking, not cryptography: it detects
+// corruption, it does not resist an adversary.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace ht {
+
+namespace detail_hash {
+
+inline constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+inline constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+inline constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t read64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t read32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t round_step(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kPrime2;
+  acc = rotl(acc, 31);
+  return acc * kPrime1;
+}
+
+inline std::uint64_t merge_round(std::uint64_t acc, std::uint64_t val) {
+  acc ^= round_step(0, val);
+  return acc * kPrime1 + kPrime4;
+}
+
+}  // namespace detail_hash
+
+/// XXH64 of `len` bytes at `data`. Deterministic across processes,
+/// compilers and (little-endian) machines.
+inline std::uint64_t hash64(const void* data, std::size_t len,
+                            std::uint64_t seed = 0) {
+  using namespace detail_hash;
+  const auto* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + len;
+  std::uint64_t h;
+
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    const unsigned char* const limit = end - 32;
+    do {
+      v1 = round_step(v1, read64(p));
+      v2 = round_step(v2, read64(p + 8));
+      v3 = round_step(v3, read64(p + 16));
+      v4 = round_step(v4, read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(len);
+  while (p + 8 <= end) {
+    h ^= round_step(0, read64(p));
+    h = rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(read32(p)) * kPrime1;
+    h = rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+    h = rotl(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace ht

@@ -1,0 +1,121 @@
+#include "util/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define HT_HAVE_MMAP 0
+#include <cstdio>
+#endif
+
+#include "obs/metrics.hpp"
+
+namespace ht {
+
+namespace {
+
+obs::Gauge& mapped_bytes_gauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::global().gauge("mmap.bytes");
+  return gauge;
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+}  // namespace
+
+std::int64_t mapped_bytes_now() { return mapped_bytes_gauge().value(); }
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    owns_mapping_ = std::exchange(other.owns_mapping_, false);
+    fallback_ = std::move(other.fallback_);
+  }
+  return *this;
+}
+
+void MappedFile::unmap() {
+  if (data_ != nullptr) {
+    mapped_bytes_gauge().add(-static_cast<std::int64_t>(size_));
+  }
+#if HT_HAVE_MMAP
+  if (owns_mapping_ && data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  owns_mapping_ = false;
+  fallback_.clear();
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+#if HT_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   errno_text());
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = errno_text();
+    ::close(fd);
+    return Status::InvalidArgument("cannot stat " + path + ": " + err);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument(path + " is not a regular file");
+  }
+  MappedFile out;
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping == MAP_FAILED) {
+      const std::string err = errno_text();
+      ::close(fd);
+      return Status::InvalidArgument("cannot mmap " + path + ": " + err);
+    }
+    out.data_ = static_cast<const unsigned char*>(mapping);
+    out.size_ = size;
+    out.owns_mapping_ = true;
+  }
+  ::close(fd);
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   errno_text());
+  }
+  MappedFile out;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size > 0) {
+    out.fallback_.resize(static_cast<std::size_t>(size));
+    if (std::fread(out.fallback_.data(), 1, out.fallback_.size(), f) !=
+        out.fallback_.size()) {
+      std::fclose(f);
+      return Status::InvalidArgument("short read on " + path);
+    }
+    out.data_ = out.fallback_.data();
+    out.size_ = out.fallback_.size();
+  }
+  std::fclose(f);
+#endif
+  if (out.size_ > 0) {
+    mapped_bytes_gauge().add(static_cast<std::int64_t>(out.size_));
+  }
+  return out;
+}
+
+}  // namespace ht

@@ -1,0 +1,56 @@
+// Read-only memory-mapped files for the snapshot serving layer.
+//
+// A MappedFile owns one read-only mapping of a whole file; Snapshot
+// accessors hand out spans straight into it, so opening a multi-gigabyte
+// snapshot costs page-table setup, not a copy, and the kernel pages data
+// in on first touch. The mapping is released in the destructor; the
+// "mmap.bytes" gauge tracks the total bytes currently mapped so tests can
+// assert that hot-swapping snapshots never leaks a mapping.
+//
+// On platforms without mmap (anything non-POSIX) Open() falls back to
+// reading the file into an owned heap buffer — same interface, no
+// zero-copy, still correct.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ht {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { unmap(); }
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. kInvalidArgument when the file cannot be
+  /// opened, stat'ed or mapped (message carries errno text). An empty file
+  /// maps to data() == nullptr, size() == 0.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+
+ private:
+  void unmap();
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool owns_mapping_ = false;        // true: munmap; false: fallback buffer
+  std::vector<unsigned char> fallback_;
+};
+
+/// Total bytes currently mapped (or fallback-buffered) across all live
+/// MappedFiles — reads the "mmap.bytes" gauge. The hot-swap tests assert
+/// this returns to exactly the live snapshot's size after a swap storm.
+std::int64_t mapped_bytes_now();
+
+}  // namespace ht

@@ -125,6 +125,14 @@ struct RunContext {
     seed = s;
     return *this;
   }
+  /// Explicit thread count for the run. An explicit setting always wins
+  /// over HT_THREADS: FromEnv() seeds `threads` from the environment, and
+  /// this overwrites it — callers surfacing a --threads flag apply it
+  /// after FromEnv() so the precedence is flag > HT_THREADS > hardware.
+  RunContext& with_threads(std::size_t count) {
+    threads = count;
+    return *this;
+  }
 };
 
 /// Shared per-run execution state: the latched stop status and the logical

@@ -103,6 +103,20 @@ TEST(RunContextEnv, FromEnvPopulatesThreads) {
   EXPECT_EQ(ctx.piece_budget, 0u);
 }
 
+TEST(RunContextEnv, ExplicitThreadsBeatEnvironment) {
+  // The documented precedence is flag > HT_THREADS > hardware:
+  // FromEnv() seeds `threads` from the environment, and with_threads()
+  // (what hypertree_cli --threads applies on top of it) overwrites that
+  // value unconditionally. CI drives the CLI end to end with
+  // HT_THREADS=2 --threads=1 and asserts the summary reports threads=1.
+  RunContext ctx = RunContext::FromEnv();
+  const std::size_t env_threads = ctx.threads;
+  ctx.with_threads(env_threads + 3);
+  EXPECT_EQ(ctx.threads, env_threads + 3);
+  ctx.with_threads(1);
+  EXPECT_EQ(ctx.threads, 1u);
+}
+
 // ---------- run state ----------
 
 TEST(RunState, CancelLatches) {

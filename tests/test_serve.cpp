@@ -1,0 +1,279 @@
+// TreeServer: query correctness against in-memory artifacts, per-query
+// deadlines, and the shared_ptr epoch hot-swap — no dropped queries, no
+// leaked mappings (CI additionally runs this file under TSan).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/hypergraph_gomory_hu.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "serve/snapshot_build.hpp"
+#include "serve/tree_server.hpp"
+#include "util/mmap_file.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+ht::hypergraph::Hypergraph make_instance(std::uint64_t seed) {
+  ht::Rng rng(seed);
+  auto h = ht::hypergraph::random_uniform(16, 30, 3, rng);
+  EXPECT_TRUE(ht::hypergraph::is_connected(h));
+  return h;
+}
+
+std::string write_snapshot(const ht::hypergraph::Hypergraph& h,
+                           const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  ht::snapshot::BuildOptions options;
+  options.seed = 7;
+  EXPECT_TRUE(ht::snapshot::write(h, path, options).ok());
+  return path;
+}
+
+TEST(TreeServer, OpensAndReportsInfo) {
+  const auto h = make_instance(1);
+  const std::string path = write_snapshot(h, "serve_info.htsnap");
+  auto server = ht::TreeServer::open(path);
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  const auto info = server->info();
+  EXPECT_EQ(info.num_vertices, h.num_vertices());
+  EXPECT_EQ(info.num_edges, h.num_edges());
+  EXPECT_TRUE(info.has_gomory_hu);
+  EXPECT_TRUE(info.has_vertex_cut_tree);
+  EXPECT_TRUE(info.has_decomposition);
+  EXPECT_EQ(info.swaps, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TreeServer, MinCutMatchesInMemoryGomoryHu) {
+  const auto h = make_instance(2);
+  const std::string path = write_snapshot(h, "serve_minc.htsnap");
+  auto server = ht::TreeServer::open(path);
+  ASSERT_TRUE(server.ok());
+  const auto gh = ht::flow::hypergraph_gomory_hu_run(h);
+  ASSERT_TRUE(gh.status.ok());
+  for (std::int32_t s = 0; s < h.num_vertices(); ++s) {
+    for (std::int32_t t = s + 1; t < h.num_vertices(); ++t) {
+      auto answer = server->min_cut(s, t);
+      ASSERT_TRUE(answer.ok());
+      EXPECT_DOUBLE_EQ(answer->value, gh.tree.min_cut(s, t));
+      EXPECT_TRUE(answer->exact);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TreeServer, BisectionIsBalancedAndExactlyEvaluated) {
+  const auto h = make_instance(3);
+  const std::string path = write_snapshot(h, "serve_bisect.htsnap");
+  auto server = ht::TreeServer::open(path);
+  ASSERT_TRUE(server.ok());
+  auto answer = server->bisection();
+  ASSERT_TRUE(answer.ok()) << answer.status().to_string();
+  ASSERT_EQ(static_cast<std::int64_t>(answer->side.size()),
+            h.num_vertices());
+  std::int64_t side1 = 0;
+  for (const bool s : answer->side) side1 += s ? 1 : 0;
+  EXPECT_EQ(side1, h.num_vertices() / 2);
+  // The reported cut is the exact delta_H of the returned side.
+  double expected = 0.0;
+  for (ht::hypergraph::EdgeId e = 0; e < h.num_edges(); ++e) {
+    bool saw0 = false, saw1 = false;
+    for (const auto v : h.pins(e)) {
+      (answer->side[static_cast<std::size_t>(v)] ? saw1 : saw0) = true;
+    }
+    if (saw0 && saw1) expected += h.edge_weight(e);
+  }
+  EXPECT_DOUBLE_EQ(answer->cut, expected);
+  std::remove(path.c_str());
+}
+
+TEST(TreeServer, KwayIsBalancedAndExactlyEvaluated) {
+  const auto h = make_instance(4);
+  const std::string path = write_snapshot(h, "serve_kway.htsnap");
+  auto server = ht::TreeServer::open(path);
+  ASSERT_TRUE(server.ok());
+  auto answer = server->kway(4);
+  ASSERT_TRUE(answer.ok()) << answer.status().to_string();
+  std::vector<int> sizes(4, 0);
+  for (const std::int32_t p : answer->part) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 4);
+    ++sizes[static_cast<std::size_t>(p)];
+  }
+  for (const int size : sizes) EXPECT_EQ(size, 4);
+  EXPECT_GE(answer->connectivity, answer->cut);
+  std::remove(path.c_str());
+}
+
+TEST(TreeServer, SetCutDominatesTrueCut) {
+  const auto h = make_instance(5);
+  const std::string path = write_snapshot(h, "serve_setcut.htsnap");
+  auto server = ht::TreeServer::open(path);
+  ASSERT_TRUE(server.ok());
+  const std::vector<std::int32_t> a{0, 1, 2};
+  const std::vector<std::int32_t> b{13, 14, 15};
+  auto answer = server->set_cut(a, b);
+  ASSERT_TRUE(answer.ok()) << answer.status().to_string();
+  EXPECT_GE(answer->value, 0.0);
+  // Invalid inputs are statuses.
+  EXPECT_FALSE(server->set_cut({}, b).ok());
+  EXPECT_FALSE(server->set_cut(a, {1}).ok());          // overlap
+  EXPECT_FALSE(server->set_cut(a, {999}).ok());        // out of range
+  std::remove(path.c_str());
+}
+
+TEST(TreeServer, RejectsInvalidQueryArguments) {
+  const auto h = make_instance(6);
+  const std::string path = write_snapshot(h, "serve_args.htsnap");
+  auto server = ht::TreeServer::open(path);
+  ASSERT_TRUE(server.ok());
+  EXPECT_FALSE(server->min_cut(0, 0).ok());
+  EXPECT_FALSE(server->min_cut(-1, 1).ok());
+  EXPECT_FALSE(server->min_cut(0, 999).ok());
+  EXPECT_FALSE(server->kway(1).ok());
+  EXPECT_FALSE(server->kway(5).ok());  // 5 does not divide 16
+  std::remove(path.c_str());
+}
+
+TEST(TreeServer, ExpiredDeadlineIsAStatusNotAnAnswer) {
+  const auto h = make_instance(7);
+  const std::string path = write_snapshot(h, "serve_deadline.htsnap");
+  auto server = ht::TreeServer::open(path);
+  ASSERT_TRUE(server.ok());
+  ht::RunContext ctx;
+  ctx.deadline = ht::RunContext::Clock::now() - std::chrono::seconds(1);
+  auto answer = server->bisection(ctx);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), ht::StatusCode::kDeadlineExceeded);
+  // The server still works for the next (unconstrained) query.
+  EXPECT_TRUE(server->bisection().ok());
+  std::remove(path.c_str());
+}
+
+TEST(TreeServer, FailedSwapKeepsServing) {
+  const auto h = make_instance(8);
+  const std::string path = write_snapshot(h, "serve_failswap.htsnap");
+  auto server = ht::TreeServer::open(path);
+  ASSERT_TRUE(server.ok());
+  EXPECT_FALSE(server->swap(testing::TempDir() + "missing.htsnap").ok());
+  // Corrupt file: also refused, still serving the original.
+  const std::string bad = testing::TempDir() + "bad.htsnap";
+  std::FILE* f = std::fopen(bad.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a snapshot", f);
+  std::fclose(f);
+  EXPECT_FALSE(server->swap(bad).ok());
+  EXPECT_EQ(server->info().swaps, 0u);
+  EXPECT_TRUE(server->min_cut(0, 1).ok());
+  std::remove(path.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(TreeServer, SwapChangesAnswers) {
+  const auto h1 = make_instance(9);
+  ht::Rng rng(10);
+  auto h2 = ht::hypergraph::random_uniform(20, 40, 3, rng);
+  ASSERT_TRUE(ht::hypergraph::is_connected(h2));
+  const std::string path1 = write_snapshot(h1, "serve_swap1.htsnap");
+  const std::string path2 = write_snapshot(h2, "serve_swap2.htsnap");
+  auto server = ht::TreeServer::open(path1);
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(server->info().num_vertices, 16);
+  ASSERT_TRUE(server->swap(path2).ok());
+  EXPECT_EQ(server->info().num_vertices, 20);
+  EXPECT_EQ(server->info().swaps, 1u);
+  const auto gh2 = ht::flow::hypergraph_gomory_hu_run(h2);
+  auto answer = server->min_cut(0, 19);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer->value, gh2.tree.min_cut(0, 19));
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(TreeServer, SwapStormUnderConcurrentQueriesDropsNothingAndLeaksNothing) {
+  const auto h1 = make_instance(11);
+  const auto h2 = make_instance(12);
+  const std::string path1 = write_snapshot(h1, "serve_storm1.htsnap");
+  const std::string path2 = write_snapshot(h2, "serve_storm2.htsnap");
+
+  const std::int64_t mapped_before = ht::mapped_bytes_now();
+  {
+    auto server = ht::TreeServer::open(path1);
+    ASSERT_TRUE(server.ok());
+
+    constexpr int kQueryThreads = 4;
+    constexpr int kQueriesPerThread = 200;
+    std::atomic<bool> go{false};
+    std::atomic<std::int64_t> answered{0};
+    std::atomic<std::int64_t> failed{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kQueryThreads);
+    for (int w = 0; w < kQueryThreads; ++w) {
+      workers.emplace_back([&, w] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        ht::Rng rng(static_cast<std::uint64_t>(w) + 100);
+        for (int q = 0; q < kQueriesPerThread; ++q) {
+          // Every epoch has n=16, so these ids are valid across swaps.
+          const auto s = static_cast<std::int32_t>(rng() % 16);
+          auto t = static_cast<std::int32_t>(rng() % 16);
+          if (t == s) t = (t + 1) % 16;
+          const auto answer =
+              (q % 3 == 0) ? server->min_cut(s, t)
+                           : server->min_cut(t, s);
+          if (answer.ok()) {
+            answered.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (q % 16 == 0) (void)server->bisection();
+        }
+      });
+    }
+
+    go.store(true, std::memory_order_release);
+    // Swap back and forth while the workers hammer the query path.
+    for (int swap = 0; swap < 50; ++swap) {
+      ASSERT_TRUE(server->swap(swap % 2 == 0 ? path2 : path1).ok());
+    }
+    for (auto& worker : workers) worker.join();
+
+    // No query may be dropped by a swap: every single one got an answer.
+    EXPECT_EQ(answered.load(),
+              static_cast<std::int64_t>(kQueryThreads) * kQueriesPerThread);
+    EXPECT_EQ(failed.load(), 0);
+    EXPECT_EQ(server->info().swaps, 50u);
+  }
+  // Server destroyed: every epoch's mapping must be gone.
+  EXPECT_EQ(ht::mapped_bytes_now(), mapped_before);
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(TreeServer, MappingsAreReleasedWithTheLastHandle) {
+  const auto h = make_instance(13);
+  const std::string path = write_snapshot(h, "serve_release.htsnap");
+  const std::int64_t mapped_before = ht::mapped_bytes_now();
+  {
+    auto server = ht::TreeServer::open(path);
+    ASSERT_TRUE(server.ok());
+    EXPECT_GT(ht::mapped_bytes_now(), mapped_before);
+    // A pinned epoch keeps its mapping alive past a swap...
+    auto pinned = server->state();
+    ASSERT_TRUE(server->swap(path).ok());
+    EXPECT_TRUE(pinned->gomory_hu.has_value());
+  }
+  // ...and everything unmaps once the last reference is gone.
+  EXPECT_EQ(ht::mapped_bytes_now(), mapped_before);
+  std::remove(path.c_str());
+}
+
+}  // namespace
