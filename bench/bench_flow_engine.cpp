@@ -152,7 +152,7 @@ int main() {
   ht::Rng gh_rng(1313);
   const auto gh_graph = ht::graph::gnp_connected(160, 6.0 / 160, gh_rng);
   const auto gh_workload = [&gh_graph] {
-    (void)ht::flow::gomory_hu(gh_graph);
+    (void)ht::flow::gomory_hu_run(gh_graph);
   };
   sections.push_back(run_section("gomory_hu", gh_workload));
   {
@@ -168,7 +168,7 @@ int main() {
     ht::Rng rng(99);
     const auto h = ht::hypergraph::random_uniform(80, 160, 3, rng);
     sections.push_back(run_section("hypergraph_gomory_hu", [&h] {
-      (void)ht::flow::hypergraph_gomory_hu(h);
+      (void)ht::flow::hypergraph_gomory_hu_run(h);
     }));
   }
 

@@ -64,7 +64,7 @@ int main() {
     for (const auto& e : g.edges()) wrapper.add_edge({e.u, e.v}, e.weight);
     wrapper.finalize();
     const auto fm = ht::partition::fm_bisection(wrapper, r3, 8);
-    const auto tree = ht::cuttree::build_decomposition_tree(g);
+    const auto tree = ht::cuttree::build_decomposition_tree_run(g, {}).tree;
     const double quality = measured_tree_quality(g, tree, r4);
     table.add(n, exact_cell, raw.cut, polished.cut, fm.cut, quality,
               std::log2(static_cast<double>(n)));

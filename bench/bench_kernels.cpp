@@ -59,7 +59,7 @@ void BM_GomoryHu(benchmark::State& state) {
   ht::Rng rng(4);
   const auto g = ht::graph::gnp_connected(n, 6.0 / n, rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ht::flow::gomory_hu(g).parent.size());
+    benchmark::DoNotOptimize(ht::flow::gomory_hu_run(g).tree.parent.size());
   }
 }
 BENCHMARK(BM_GomoryHu)->Arg(32)->Arg(64)->Arg(128);

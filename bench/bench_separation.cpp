@@ -25,7 +25,7 @@ namespace {
 /// Worst ratio tree-cut / graph-cut over all singleton pairs for a
 /// Gomory–Hu tree (should be exactly 1).
 double gomory_hu_quality(const ht::graph::Graph& g) {
-  const auto tree = ht::flow::gomory_hu(g);
+  const auto tree = ht::flow::gomory_hu_run(g).tree;
   double worst = 1.0;
   for (ht::graph::VertexId s = 0; s < g.num_vertices(); ++s) {
     for (ht::graph::VertexId t = s + 1; t < g.num_vertices(); ++t) {
@@ -64,7 +64,7 @@ int main() {
       const auto rh = ht::hypergraph::random_uniform(
           std::min(n, 24), 2 * std::min(n, 24), 3, hrng);
       if (ht::hypergraph::is_connected(rh)) {
-        const auto ghh = ht::flow::hypergraph_gomory_hu(rh);
+        const auto ghh = ht::flow::hypergraph_gomory_hu_run(rh).tree;
         for (std::int32_t s = 0; s < rh.num_vertices(); ++s) {
           for (std::int32_t t = s + 1; t < rh.num_vertices(); ++t) {
             const double direct =

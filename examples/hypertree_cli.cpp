@@ -6,7 +6,7 @@
 //                     [--quiet]
 //   $ ./hypertree_cli build-snapshot <file.hmetis> <out.htsnap>
 //                     [--seed=S] [--deadline-ms=N] [--threads=N]
-//                     [--build-info=TEXT]
+//                     [--build-info=TEXT] [--prep=off|exact|aggressive]
 //   $ ./hypertree_cli serve <snapshot.htsnap> [--deadline-ms=N]
 //                     [--threads=N]
 //
@@ -23,6 +23,8 @@
 //
 // serve reads one query per line from stdin and answers on stdout:
 //   minc <s> <t>   exact min s-t hyperedge cut (Gomory-Hu tree walk)
+//   setcut <a_csv> <b_csv>  dominating delta_H(A, B) estimate (Lemma 7
+//                  vertex-cut-tree DP); sides are comma-separated ids
 //   bisect         balanced bisection (Corollary 3 cut-tree DP)
 //   kway <k>       balanced k-way partition (decomposition-tree DP)
 //   info           snapshot + server counters
@@ -44,6 +46,7 @@ struct Options {
   std::string out_path;
   std::string algo = "theorem1";
   std::string build_info;
+  ht::prep::PrepConfig prep;
   std::int32_t k = 2;
   std::uint64_t seed = 42;
   std::int64_t deadline_ms = 0;
@@ -68,6 +71,12 @@ bool parse(int argc, char** argv, Options& out) {
       if (out.threads < 1) return false;
     } else if (arg.rfind("--build-info=", 0) == 0) {
       out.build_info = arg.substr(13);
+    } else if (arg.rfind("--prep=", 0) == 0) {
+      if (!ht::prep::parse_mode(arg.substr(7), &out.prep.mode)) {
+        std::cerr << "unknown --prep mode (want off|exact|aggressive): "
+                  << arg << "\n";
+        return false;
+      }
     } else if (arg == "--quiet") {
       out.quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -119,6 +128,7 @@ int run_build_snapshot(const Options& options) {
   ht::snapshot::BuildOptions build;
   build.seed = options.seed;
   build.build_info = options.build_info;
+  build.prep = options.prep;
   ht::snapshot::BuildReport report;
   const ht::Status status =
       solver.build_snapshot(*parsed, options.out_path, build, &report);
@@ -131,9 +141,29 @@ int run_build_snapshot(const Options& options) {
             << " gomory_hu=" << (report.gomory_hu_present ? 1 : 0)
             << " vct_nodes=" << report.vct_nodes
             << " decomp_nodes=" << report.decomp_nodes
+            << " prep=" << ht::prep::mode_name(options.prep.mode)
+            << " stored_n=" << report.stored_vertices
+            << " stored_m=" << report.stored_edges
+            << " prep_exact=" << (report.prep_exact ? 1 : 0)
             << " threads=" << solver.context().threads
             << " status=" << status.code_name() << "\n";
   return 0;
+}
+
+/// Parses "3,1,4" into vertex ids; false on empty or non-numeric input
+/// (range checking is the server's job).
+bool parse_id_csv(const std::string& text, std::vector<std::int32_t>& out) {
+  out.clear();
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) return false;
+    char* end = nullptr;
+    const long value = std::strtol(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0') return false;
+    out.push_back(static_cast<std::int32_t>(value));
+  }
+  return !out.empty();
 }
 
 int run_serve(const Options& options) {
@@ -170,6 +200,9 @@ int run_serve(const Options& options) {
     if (cmd == "info") {
       const auto now = server->info();
       std::cout << "info n=" << now.num_vertices << " m=" << now.num_edges
+                << " stored_n=" << now.stored_vertices
+                << " stored_m=" << now.stored_edges
+                << " preprocessed=" << (now.preprocessed ? 1 : 0)
                 << " queries=" << now.queries << " swaps=" << now.swaps
                 << "\n";
     } else if (cmd == "minc") {
@@ -184,6 +217,23 @@ int run_serve(const Options& options) {
       } else {
         std::cout << "minc " << answer->value
                   << (answer->exact ? " exact" : " lower-bound") << "\n";
+      }
+    } else if (cmd == "setcut") {
+      std::string a_csv, b_csv;
+      if (!(in >> a_csv >> b_csv)) {
+        std::cout << "error setcut needs two comma-separated id lists\n";
+        continue;
+      }
+      std::vector<std::int32_t> a, b;
+      if (!parse_id_csv(a_csv, a) || !parse_id_csv(b_csv, b)) {
+        std::cout << "error setcut lists must be comma-separated ids\n";
+        continue;
+      }
+      const auto answer = server->set_cut(a, b, ctx);
+      if (!answer.has_value()) {
+        std::cout << "error " << answer.status().to_string() << "\n";
+      } else {
+        std::cout << "setcut " << answer->value << "\n";
       }
     } else if (cmd == "bisect") {
       const auto answer = server->bisection(ctx);
@@ -303,7 +353,8 @@ int main(int argc, char** argv) {
            "[--algo=theorem1|cuttree|smalledges|fm] [--k=K] [--seed=S] "
            "[--deadline-ms=N] [--threads=N] [--quiet]\n"
            "       hypertree_cli build-snapshot <file.hmetis> <out.htsnap> "
-           "[--seed=S] [--deadline-ms=N] [--threads=N] [--build-info=TEXT]\n"
+           "[--seed=S] [--deadline-ms=N] [--threads=N] [--build-info=TEXT] "
+           "[--prep=off|exact|aggressive]\n"
            "       hypertree_cli serve <snapshot.htsnap> [--deadline-ms=N] "
            "[--threads=N]\n";
     return 2;

@@ -34,6 +34,17 @@ void Tree::set_vertex_node(VertexId vertex, NodeId node) {
   vertex_node_[static_cast<std::size_t>(vertex)] = node;
 }
 
+void Tree::lift_vertices(std::span<const VertexId> to_current) {
+  std::vector<NodeId> lifted(to_current.size());
+  for (std::size_t i = 0; i < to_current.size(); ++i) {
+    const VertexId cur = to_current[i];
+    HT_CHECK(0 <= cur &&
+             cur < static_cast<VertexId>(vertex_node_.size()));
+    lifted[i] = vertex_node_[static_cast<std::size_t>(cur)];
+  }
+  vertex_node_ = std::move(lifted);
+}
+
 StatusOr<Tree> Tree::from_arrays(std::span<const NodeId> parent,
                                  std::span<const double> node_weight,
                                  std::span<const double> edge_weight,

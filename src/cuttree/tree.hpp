@@ -68,6 +68,14 @@ class Tree {
     vertex_node_.assign(static_cast<std::size_t>(count), -1);
   }
 
+  /// Replaces the vertex embedding by composition: new vertex i maps to
+  /// the node of current vertex to_current[i]. This is how a tree built
+  /// on a preprocessed (contracted) instance is lifted back to original
+  /// vertex ids — every original vertex of a cluster embeds at the
+  /// cluster's node, and the tree DPs already aggregate multiple counted
+  /// vertices per node. Entries must index the current embedding.
+  void lift_vertices(std::span<const VertexId> to_current);
+
   /// Reconstructs a tree from flat arrays (the snapshot loader's entry
   /// point: the arrays come straight out of an mmap'ed, checksummed but
   /// otherwise untrusted file). Validates every invariant add_node/

@@ -46,6 +46,10 @@
 #include "reduction/mku_bisection.hpp"
 #include "reduction/star_expansion.hpp"
 
+// Staged preprocessing (kernelization + cut sparsification) with id
+// lifting.
+#include "prep/prep.hpp"
+
 // Persistence + serving: .htsnap snapshots and the TreeServer query
 // surface (the build/serve split).
 #include "serve/snapshot_build.hpp"
@@ -113,6 +117,15 @@ class Solver {
   /// Gomory–Hu tree for hypergraph s-t cuts (Lawler-expansion oracle).
   StatusOr<flow::HypergraphGomoryHuRunResult> gomory_hu(
       const hypergraph::Hypergraph& h);
+
+  /// Runs the staged preprocessing pipeline (kernelization, and under
+  /// Mode::kAggressive label-propagation contraction + cut
+  /// sparsification) on a finalized hypergraph. The result carries the
+  /// reduced instance plus the composed original -> reduced Lifting and
+  /// per-stage provenance. Anytime: a deadline mid-pipeline keeps the
+  /// stages already applied (always a valid, consistent instance).
+  StatusOr<prep::PrepResult> preprocess(const hypergraph::Hypergraph& h,
+                                        prep::PrepConfig config = {});
 
   /// Builds every snapshot artifact (Gomory–Hu, vertex cut tree,
   /// decomposition tree) and atomically publishes the .htsnap file.

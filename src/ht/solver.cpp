@@ -65,6 +65,14 @@ StatusOr<core::BisectionReport> Solver::bisect_via_cut_tree(
   return {scope.status(), std::move(report)};
 }
 
+StatusOr<prep::PrepResult> Solver::preprocess(const hypergraph::Hypergraph& h,
+                                              prep::PrepConfig config) {
+  if (ctx_.seed.has_value()) config.sparsify.seed = *ctx_.seed;
+  prepare_pool();
+  RunScope scope(ctx_);
+  return prep::run_pipeline(h, config);
+}
+
 Status Solver::build_snapshot(const hypergraph::Hypergraph& h,
                               const std::string& path,
                               snapshot::BuildOptions options,

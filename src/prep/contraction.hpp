@@ -1,0 +1,69 @@
+// Vertex-id bookkeeping for the preprocessing pipeline.
+//
+// Every prep stage maps its input hypergraph to a (possibly) contracted
+// output hypergraph and reports the vertex mapping as a ContractionMap.
+// A Lifting is the composition of those maps across the whole pipeline:
+// one flat original-id -> reduced-id array that downstream layers (the
+// snapshot builder, TreeServer) use to keep answering in ORIGINAL vertex
+// ids no matter how many stages fired. The invariant, checked by tests:
+//
+//   lift(answer on reduced instance) == answer on original instance
+//
+// for every contraction-based exact rule, and "dominating estimate" for
+// the lossy rules (label propagation, sparsification).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace ht::prep {
+
+using hypergraph::VertexId;
+
+/// One stage's vertex map: input vertex -> output cluster, clusters dense
+/// in [0, num_clusters). Stages that only touch edges return identity().
+struct ContractionMap {
+  std::vector<VertexId> cluster_of;
+  VertexId num_clusters = 0;
+
+  static ContractionMap identity(VertexId n);
+  bool is_identity() const;
+};
+
+/// The composed original -> reduced map for a whole pipeline. Starts as
+/// identity over the original vertex set; compose() folds in each stage's
+/// ContractionMap as it is applied.
+class Lifting {
+ public:
+  Lifting() = default;
+  static Lifting identity(VertexId n);
+
+  /// Folds `next` (a map over the CURRENT reduced vertex set) into the
+  /// composition. Requires next.cluster_of.size() == num_reduced().
+  void compose(const ContractionMap& next);
+
+  VertexId num_original() const {
+    return static_cast<VertexId>(to_reduced_.size());
+  }
+  VertexId num_reduced() const { return num_reduced_; }
+  VertexId to_reduced(VertexId original) const {
+    return to_reduced_[static_cast<std::size_t>(original)];
+  }
+  const std::vector<VertexId>& map() const { return to_reduced_; }
+  bool is_identity() const;
+
+  /// Lifts a per-reduced-vertex value onto original ids: out[v] =
+  /// reduced_value[to_reduced(v)].
+  std::vector<bool> lift_side(const std::vector<bool>& reduced_side) const;
+  std::vector<std::int32_t> lift_partition(
+      const std::vector<std::int32_t>& reduced_part) const;
+
+ private:
+  std::vector<VertexId> to_reduced_;
+  VertexId num_reduced_ = 0;
+};
+
+}  // namespace ht::prep

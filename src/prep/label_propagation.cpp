@@ -1,0 +1,128 @@
+// Label-propagation contraction: the optional lossy kernelization rule.
+//
+// Synchronous rounds (every vertex adopts the best label of the PREVIOUS
+// round, so the update is order-free and thread-count-invariant): vertex v
+// scores each neighboring label by sum over incident hyperedges e and
+// co-pins u != v with that label of w(e) / (|e| - 1) — a hyperedge's
+// affinity spread over its other pins — and adopts the max, ties to the
+// smallest label. A serial capping pass then assigns cluster ids in
+// vertex-id order, splitting any label whose accumulated vertex weight
+// would exceed max_cluster_fraction of the total, so the reduced instance
+// keeps enough granularity for balanced queries.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "prep/prep.hpp"
+#include "util/run_context.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ht::prep {
+
+namespace {
+
+using hypergraph::Weight;
+
+class LabelPropagationStage final : public PrepStage {
+ public:
+  explicit LabelPropagationStage(LabelPropagationOptions options)
+      : options_(options) {}
+
+  const char* name() const override { return "label_propagation"; }
+  bool exact() const override { return false; }
+
+  Status apply(const Hypergraph& in, StageResult& out) const override {
+    obs::TraceSpan span("prep.label_propagation");
+    out = StageResult{};
+    const VertexId n = in.num_vertices();
+    out.map = ContractionMap::identity(n);
+    if (n < 2 || in.num_edges() == 0) return Status::Ok();
+    RunState* run = current_run_state();
+
+    std::vector<VertexId> label(static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) label[static_cast<std::size_t>(v)] = v;
+    std::vector<VertexId> next(label);
+
+    for (std::int32_t round = 0; round < options_.rounds; ++round) {
+      if (run != nullptr && !run->check().ok()) break;
+      parallel_for(static_cast<std::size_t>(n), [&](std::size_t vi) {
+        const auto v = static_cast<VertexId>(vi);
+        // Accumulation order per label is the fixed (edge, pin) iteration
+        // order, so the float sums are deterministic.
+        std::map<VertexId, Weight> score;
+        for (const EdgeId e : in.incident_edges(v)) {
+          const auto pins = in.pins(e);
+          if (pins.size() < 2) continue;
+          const Weight share =
+              in.edge_weight(e) / static_cast<Weight>(pins.size() - 1);
+          for (const VertexId u : pins) {
+            if (u == v) continue;
+            score[label[static_cast<std::size_t>(u)]] += share;
+          }
+        }
+        VertexId best = label[vi];
+        Weight best_score = -1.0;
+        for (const auto& [candidate, s] : score) {
+          // Strictly-greater keeps the smallest label on ties (map
+          // iterates in ascending label order).
+          if (s > best_score) {
+            best = candidate;
+            best_score = s;
+          }
+        }
+        next[vi] = best;
+      });
+      label.swap(next);
+      ++out.rounds;
+      obs::MetricsRegistry::global().counter("prep.lp_rounds").add();
+    }
+
+    // Capped cluster assignment, serial and id-ordered: a label opens a
+    // new cluster whenever its current one would exceed the weight cap.
+    const Weight cap =
+        std::max(in.total_vertex_weight() * options_.max_cluster_fraction,
+                 1.0);
+    std::map<VertexId, std::pair<VertexId, Weight>> open;  // label -> (id, w)
+    out.map.cluster_of.assign(static_cast<std::size_t>(n), -1);
+    VertexId clusters = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      const VertexId l = label[static_cast<std::size_t>(v)];
+      const Weight w = in.vertex_weight(v);
+      auto it = open.find(l);
+      if (it == open.end() || it->second.second + w > cap) {
+        open[l] = {clusters, w};
+        out.map.cluster_of[static_cast<std::size_t>(v)] = clusters;
+        ++clusters;
+      } else {
+        it->second.second += w;
+        out.map.cluster_of[static_cast<std::size_t>(v)] = it->second.first;
+      }
+    }
+    out.map.num_clusters = clusters;
+    if (clusters == n) {
+      out.map = ContractionMap::identity(n);
+      return Status::Ok();  // nothing coarsened
+    }
+
+    out.reduced =
+        hypergraph::contract(in, out.map.cluster_of, out.map.num_clusters);
+    out.stage_flags = kStageLabelPropagation;
+    out.changed = true;
+    return Status::Ok();
+  }
+
+ private:
+  LabelPropagationOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<PrepStage> make_label_propagation_stage(
+    LabelPropagationOptions options) {
+  return std::make_unique<LabelPropagationStage>(options);
+}
+
+}  // namespace ht::prep

@@ -1,0 +1,129 @@
+// Importance-sampling cut sparsifier (Chen–Khanna–Nagda-style).
+//
+// Keep probability p_e = min(1, rho * w(e) / strength(e)) with
+// rho = c * log2(n) / epsilon^2 and strength(e) approximated by the
+// minimum weighted degree over e's pins (a cheap lower bound on how well
+// e's endpoints are connected: edges inside well-connected regions are
+// oversampled-safe, edges that could be a small cut's only crossing have
+// w(e) ~ strength(e) and survive with p_e = 1). Kept edges are reweighted
+// to w(e) / p_e so every cut is preserved in expectation.
+//
+// The sampler is deterministic and schedule-free: edge e draws its
+// uniform from hash64(e, seed), so the same (instance, seed) keeps the
+// same edges at every thread count.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "prep/prep.hpp"
+#include "util/hash64.hpp"
+#include "util/run_context.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ht::prep {
+
+namespace {
+
+using hypergraph::Weight;
+
+/// Uniform in [0, 1) keyed on (seed, edge id); 53 mantissa bits of XXH64.
+double edge_uniform(EdgeId e, std::uint64_t seed) {
+  const auto key = static_cast<std::int64_t>(e);
+  const std::uint64_t bits = hash64(&key, sizeof(key), seed);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+class SparsifyStage final : public PrepStage {
+ public:
+  explicit SparsifyStage(SparsifyOptions options) : options_(options) {}
+
+  const char* name() const override { return "sparsify"; }
+  bool exact() const override { return false; }
+
+  Status apply(const Hypergraph& in, StageResult& out) const override {
+    obs::TraceSpan span("prep.sparsify");
+    out = StageResult{};
+    const VertexId n = in.num_vertices();
+    const EdgeId m = in.num_edges();
+    out.map = ContractionMap::identity(n);
+    if (n < 2 || m == 0) return Status::Ok();
+    if (RunState* run = current_run_state();
+        run != nullptr && !run->check().ok()) {
+      return Status::Ok();
+    }
+
+    std::vector<Weight> degree(static_cast<std::size_t>(n), 0.0);
+    parallel_for(static_cast<std::size_t>(n), [&](std::size_t v) {
+      Weight d = 0.0;
+      for (const EdgeId e : in.incident_edges(static_cast<VertexId>(v))) {
+        d += in.edge_weight(e);
+      }
+      degree[v] = d;
+    });
+
+    const double rho = options_.c *
+                       std::max(1.0, std::log2(static_cast<double>(n))) /
+                       (options_.epsilon * options_.epsilon);
+    std::vector<double> keep_weight(static_cast<std::size_t>(m), 0.0);
+    parallel_for(static_cast<std::size_t>(m), [&](std::size_t ei) {
+      const auto e = static_cast<EdgeId>(ei);
+      Weight strength = std::numeric_limits<Weight>::infinity();
+      for (const VertexId v : in.pins(e)) {
+        strength = std::min(strength, degree[static_cast<std::size_t>(v)]);
+      }
+      const Weight w = in.edge_weight(e);
+      const double p =
+          strength > 0.0 ? std::min(1.0, rho * w / strength) : 1.0;
+      if (p >= 1.0) {
+        keep_weight[ei] = w;
+      } else if (edge_uniform(e, options_.seed) < p) {
+        keep_weight[ei] = w / p;
+      }
+    });
+
+    EdgeId kept = 0;
+    bool reweighted = false;
+    for (EdgeId e = 0; e < m; ++e) {
+      const Weight w = keep_weight[static_cast<std::size_t>(e)];
+      if (w > 0.0) {
+        ++kept;
+        reweighted = reweighted || w != in.edge_weight(e);
+      }
+    }
+    if (kept == m && !reweighted) return Status::Ok();  // p_e == 1 for all
+
+    Hypergraph sparse(n);
+    for (VertexId v = 0; v < n; ++v) {
+      sparse.set_vertex_weight(v, in.vertex_weight(v));
+    }
+    for (EdgeId e = 0; e < m; ++e) {
+      const Weight w = keep_weight[static_cast<std::size_t>(e)];
+      if (w == 0.0) continue;
+      const auto pins = in.pins(e);
+      sparse.add_edge({pins.begin(), pins.end()}, w);
+    }
+    sparse.finalize();
+    obs::MetricsRegistry::global()
+        .counter("prep.sparsified_edges_dropped")
+        .add(static_cast<std::uint64_t>(m - kept));
+    out.reduced = std::move(sparse);
+    out.stage_flags = kStageSparsifier;
+    out.changed = true;
+    return Status::Ok();
+  }
+
+ private:
+  SparsifyOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<PrepStage> make_sparsify_stage(SparsifyOptions options) {
+  return std::make_unique<SparsifyStage>(options);
+}
+
+}  // namespace ht::prep

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cuttree/decomposition_tree.hpp"
@@ -61,7 +62,6 @@ StatusOr<std::string> build(const Hypergraph& h, const BuildOptions& options,
                                    "hypergraph");
   }
   const VertexId n = h.num_vertices();
-  const EdgeId m = h.num_edges();
   if (n < 2) {
     return Status::InvalidArgument("snapshot build needs >= 2 vertices");
   }
@@ -70,13 +70,35 @@ StatusOr<std::string> build(const Hypergraph& h, const BuildOptions& options,
   BuildReport& rep = report != nullptr ? *report : local_report;
   rep = BuildReport{};
 
+  // Preprocessing first: every artifact below is built on the reduced
+  // instance, and the lifting map is frozen into the snapshot so the
+  // server can keep answering in original vertex ids.
+  prep::PrepResult prep_result;
+  const Hypergraph* instance = &h;
+  bool prep_applied = false;
+  if (options.prep.mode != prep::PrepConfig::Mode::kOff) {
+    auto pipeline = prep::run_pipeline(h, options.prep);
+    rep.prep_status = pipeline.status();
+    prep_result = std::move(*pipeline);
+    prep_applied = prep_result.applied();
+    if (prep_applied) instance = &prep_result.reduced;
+  }
+  const Hypergraph& stored = *instance;
+  const VertexId stored_n = stored.num_vertices();
+  const EdgeId stored_m = stored.num_edges();
+  rep.stored_vertices = stored_n;
+  rep.stored_edges = stored_m;
+  rep.prep_applied = prep_applied;
+  rep.prep_stage_flags = prep_result.stage_flags;
+  rep.prep_exact = prep_result.exact();
+
   MetaBlock meta;
   std::memset(&meta, 0, sizeof(meta));
   meta.build_seed = options.seed;
-  meta.num_vertices = n;
-  meta.num_edges = m;
-  meta.total_edge_weight = h.total_edge_weight();
-  meta.total_vertex_weight = h.total_vertex_weight();
+  meta.num_vertices = stored_n;
+  meta.num_edges = stored_m;
+  meta.total_edge_weight = stored.total_edge_weight();
+  meta.total_vertex_weight = stored.total_vertex_weight();
   // meta.build_threads stays 0: like created_unix_s, the live thread count
   // is provenance that would break byte-determinism across thread counts,
   // so it is reported in BuildReport instead of the checksummed artifact.
@@ -90,18 +112,18 @@ StatusOr<std::string> build(const Hypergraph& h, const BuildOptions& options,
 
   // Hypergraph CSR — rebuilt from the public accessors, written as the
   // flat arrays the reader serves zero-copy.
-  std::vector<double> vertex_weights(static_cast<std::size_t>(n));
-  for (VertexId v = 0; v < n; ++v) {
-    vertex_weights[static_cast<std::size_t>(v)] = h.vertex_weight(v);
+  std::vector<double> vertex_weights(static_cast<std::size_t>(stored_n));
+  for (VertexId v = 0; v < stored_n; ++v) {
+    vertex_weights[static_cast<std::size_t>(v)] = stored.vertex_weight(v);
   }
-  std::vector<double> edge_weights(static_cast<std::size_t>(m));
+  std::vector<double> edge_weights(static_cast<std::size_t>(stored_m));
   std::vector<std::int64_t> pin_offsets;
   std::vector<std::int32_t> pins;
-  pin_offsets.reserve(static_cast<std::size_t>(m) + 1);
+  pin_offsets.reserve(static_cast<std::size_t>(stored_m) + 1);
   pin_offsets.push_back(0);
-  for (EdgeId e = 0; e < m; ++e) {
-    edge_weights[static_cast<std::size_t>(e)] = h.edge_weight(e);
-    for (VertexId v : h.pins(e)) pins.push_back(v);
+  for (EdgeId e = 0; e < stored_m; ++e) {
+    edge_weights[static_cast<std::size_t>(e)] = stored.edge_weight(e);
+    for (VertexId v : stored.pins(e)) pins.push_back(v);
     pin_offsets.push_back(static_cast<std::int64_t>(pins.size()));
   }
   meta.num_pins = static_cast<std::int64_t>(pins.size());
@@ -112,8 +134,8 @@ StatusOr<std::string> build(const Hypergraph& h, const BuildOptions& options,
   // Gomory–Hu tree: exact min s-t cut answers. Needs connectivity.
   std::vector<std::int32_t> gh_parent;
   std::vector<double> gh_parent_cut;
-  if (options.include_gomory_hu && hypergraph::is_connected(h)) {
-    const auto gh = flow::hypergraph_gomory_hu_run(h);
+  if (options.include_gomory_hu && hypergraph::is_connected(stored)) {
+    const auto gh = flow::hypergraph_gomory_hu_run(stored);
     rep.gomory_hu_status = gh.status;
     rep.gomory_hu_present = true;
     gh_parent.assign(gh.tree.parent.begin(), gh.tree.parent.end());
@@ -128,7 +150,7 @@ StatusOr<std::string> build(const Hypergraph& h, const BuildOptions& options,
   std::optional<TreeArrays> vct;
   std::vector<std::int32_t> vct_separators;
   if (options.include_vertex_cut_tree) {
-    const auto star = reduction::star_expansion(h);
+    const auto star = reduction::star_expansion(stored);
     cuttree::VertexCutTreeOptions vct_options;
     vct_options.seed = options.seed;
     vct_options.alpha = options.alpha;
@@ -152,7 +174,7 @@ StatusOr<std::string> build(const Hypergraph& h, const BuildOptions& options,
   // edge-cut tree DP, Lemma 1 distortion).
   std::optional<TreeArrays> decomp;
   if (options.include_decomposition) {
-    graph::Graph expansion = reduction::clique_expansion(h);
+    graph::Graph expansion = reduction::clique_expansion(stored);
     if (!expansion.finalized()) expansion.finalize();
     cuttree::DecompositionOptions decomp_options;
     decomp_options.seed = options.seed;
@@ -191,6 +213,37 @@ StatusOr<std::string> build(const Hypergraph& h, const BuildOptions& options,
                     to_span(decomp->edge_weight));
     writer.add_span(SectionKind::kDecompVertexNode,
                     to_span(decomp->vertex_node));
+  }
+  std::vector<std::int32_t> prep_map;
+  std::string prep_stages_text;
+  if (prep_applied) {
+    PrepBlock prep_block;
+    std::memset(&prep_block, 0, sizeof(prep_block));
+    prep_block.orig_num_pins = prep_result.total_pins_before;
+    prep_block.prep_seed = options.prep.sparsify.seed;
+    prep_block.orig_num_vertices = n;
+    prep_block.orig_num_edges = h.num_edges();
+    prep_block.stage_flags = prep_result.stage_flags;
+    prep_block.mode = static_cast<std::uint32_t>(options.prep.mode);
+    prep_block.rounds = prep_result.rounds;
+    writer.add_bytes(SectionKind::kPrepMeta, sizeof(PrepBlock), &prep_block,
+                     sizeof(PrepBlock));
+    prep_map.assign(prep_result.lifting.map().begin(),
+                    prep_result.lifting.map().end());
+    writer.add_span(SectionKind::kPrepVertexMap, to_span(prep_map));
+    for (const prep::StageInfo& stage : prep_result.stages) {
+      prep_stages_text += stage.name;
+      prep_stages_text += stage.exact ? " exact" : " lossy";
+      prep_stages_text += " n " + std::to_string(stage.vertices_before) +
+                          "->" + std::to_string(stage.vertices_after);
+      prep_stages_text += " m " + std::to_string(stage.edges_before) + "->" +
+                          std::to_string(stage.edges_after);
+      prep_stages_text += " pins " + std::to_string(stage.pins_before) +
+                          "->" + std::to_string(stage.pins_after);
+      prep_stages_text += " rounds " + std::to_string(stage.rounds) + "\n";
+    }
+    writer.add_bytes(SectionKind::kPrepStages, 1, prep_stages_text.data(),
+                     prep_stages_text.size());
   }
   if (!options.build_info.empty()) {
     writer.add_build_info(options.build_info);

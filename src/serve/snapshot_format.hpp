@@ -70,6 +70,12 @@ enum class SectionKind : std::uint32_t {
   kDecompEdgeWeight = 15,  // f64[d]
   kDecompVertexNode = 16,  // i32[n]
   kBuildInfo = 17,       // u8[]          free-form provenance text
+  // Preprocessing provenance (forward-compatible additions: readers
+  // before these kinds existed skip them and serve the stored instance
+  // in its own — reduced — id space).
+  kPrepMeta = 18,        // PrepBlock[1]
+  kPrepVertexMap = 19,   // i32[orig_n]   original vertex -> stored vertex
+  kPrepStages = 20,      // u8[]          per-stage provenance text
 };
 
 /// Fixed 64-byte little-endian file header. header_checksum covers the
@@ -138,6 +144,27 @@ struct MetaBlock {
 };
 static_assert(sizeof(MetaBlock) == 96);
 static_assert(std::is_trivially_copyable_v<MetaBlock>);
+
+/// Preprocessing provenance (the kPrepMeta section), written only when a
+/// prep pipeline changed the instance at build time. The CSR and every
+/// tree in the file then describe the REDUCED instance; kPrepVertexMap
+/// (original -> stored vertex, surjective onto [0, num_vertices)) lifts
+/// original ids onto it so TreeServer keeps answering in original ids.
+/// stage_flags holds ht::prep::kStage* bits; mode is the PrepConfig::Mode
+/// the build ran with. Like MetaBlock, 8-byte members first: no padding,
+/// deterministic bytes.
+struct PrepBlock {
+  std::int64_t orig_num_pins;
+  std::uint64_t prep_seed;       // the sparsifier's sampling seed
+  std::int32_t orig_num_vertices;
+  std::int32_t orig_num_edges;
+  std::uint32_t stage_flags;
+  std::uint32_t mode;
+  std::uint32_t rounds;
+  std::uint32_t reserved;
+};
+static_assert(sizeof(PrepBlock) == 40);
+static_assert(std::is_trivially_copyable_v<PrepBlock>);
 
 inline bool magic_matches(const char* bytes) {
   return std::memcmp(bytes, kMagic, sizeof(kMagic)) == 0;

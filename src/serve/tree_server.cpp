@@ -9,6 +9,7 @@
 #include "cuttree/tree_edge_partition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "prep/prep.hpp"
 
 namespace ht {
 
@@ -200,6 +201,53 @@ StatusOr<std::shared_ptr<const LoadedSnapshot>> LoadedSnapshot::load(
     out->decomposition.emplace(std::move(*tree));
   }
 
+  // Preprocessed snapshot: validate the original -> stored map and lift
+  // the tree embeddings onto original ids, so every query below runs
+  // directly in the id space callers know.
+  if (s.has(SectionKind::kPrepMeta)) {
+    auto prep_block = s.section<snapshot::PrepBlock>(SectionKind::kPrepMeta);
+    if (!prep_block.ok()) return prep_block.status();
+    if (prep_block->size() != 1) {
+      return Status::InvalidArgument("snapshot prep: meta section is not "
+                                     "one record");
+    }
+    out->prep = (*prep_block)[0];
+    const std::int32_t orig_n = out->prep.orig_num_vertices;
+    if (orig_n < n || out->prep.orig_num_edges < 0 ||
+        out->prep.orig_num_pins < 0) {
+      return Status::InvalidArgument("snapshot prep: original counts are "
+                                     "smaller than the stored instance");
+    }
+    auto map = s.section<std::int32_t>(SectionKind::kPrepVertexMap);
+    if (!map.ok()) return map.status();
+    if (static_cast<std::int64_t>(map->size()) != orig_n) {
+      return Status::InvalidArgument("snapshot prep: vertex map length is "
+                                     "not the original vertex count");
+    }
+    std::vector<bool> hit(static_cast<std::size_t>(n), false);
+    for (const std::int32_t stored_v : *map) {
+      if (stored_v < 0 || stored_v >= n) {
+        return Status::InvalidArgument("snapshot prep: vertex map entry "
+                                       "out of range");
+      }
+      hit[static_cast<std::size_t>(stored_v)] = true;
+    }
+    for (std::int32_t v = 0; v < n; ++v) {
+      if (!hit[static_cast<std::size_t>(v)]) {
+        return Status::InvalidArgument("snapshot prep: vertex map does not "
+                                       "cover every stored vertex");
+      }
+    }
+    out->prep_map = *map;
+    out->has_prep = true;
+    if (out->vertex_cut_tree.has_value()) {
+      out->vertex_cut_tree->lift_vertices(*map);
+    }
+    if (out->decomposition.has_value()) {
+      out->decomposition->lift_vertices(*map);
+    }
+  }
+
   return std::shared_ptr<const LoadedSnapshot>(std::move(out));
 }
 
@@ -211,6 +259,21 @@ StatusOr<std::shared_ptr<const LoadedSnapshot>> LoadedSnapshot::load_file(
 }
 
 double LoadedSnapshot::cut_weight(const std::vector<bool>& side) const {
+  // Collapse the original-id side onto stored vertices as side-presence
+  // bits: a stored vertex whose originals straddle the cut exposes both
+  // sides to every incident hyperedge.
+  const std::int32_t n = meta.num_vertices;
+  std::vector<std::uint8_t> tag(static_cast<std::size_t>(n), 0);
+  if (has_prep) {
+    for (std::size_t v = 0; v < prep_map.size(); ++v) {
+      tag[static_cast<std::size_t>(prep_map[v])] |= side[v] ? 2 : 1;
+    }
+  } else {
+    for (std::int32_t v = 0; v < n; ++v) {
+      tag[static_cast<std::size_t>(v)] =
+          side[static_cast<std::size_t>(v)] ? 2 : 1;
+    }
+  }
   double cut = 0.0;
   const std::int32_t m = meta.num_edges;
   for (std::int32_t e = 0; e < m; ++e) {
@@ -218,18 +281,30 @@ double LoadedSnapshot::cut_weight(const std::vector<bool>& side) const {
         pin_offsets[static_cast<std::size_t>(e)]);
     const auto end = static_cast<std::size_t>(
         pin_offsets[static_cast<std::size_t>(e) + 1]);
-    bool saw0 = false;
-    bool saw1 = false;
-    for (std::size_t i = begin; i < end && !(saw0 && saw1); ++i) {
-      (side[static_cast<std::size_t>(pins[i])] ? saw1 : saw0) = true;
+    std::uint8_t seen = 0;
+    for (std::size_t i = begin; i < end && seen != 3; ++i) {
+      seen |= tag[static_cast<std::size_t>(pins[i])];
     }
-    if (saw0 && saw1) cut += edge_weights[static_cast<std::size_t>(e)];
+    if (seen == 3) cut += edge_weights[static_cast<std::size_t>(e)];
   }
   return cut;
 }
 
 std::pair<double, double> LoadedSnapshot::kway_cost(
     const std::vector<std::int32_t>& part) const {
+  const std::int32_t n = meta.num_vertices;
+  // Part id per stored vertex; under preprocessing a cluster follows its
+  // first original member (the edge-cut DP keeps clusters whole, so all
+  // members agree — the rule only makes the mapping total).
+  std::vector<std::int32_t> stored_part(static_cast<std::size_t>(n), -1);
+  if (has_prep) {
+    for (std::size_t v = 0; v < prep_map.size(); ++v) {
+      std::int32_t& p = stored_part[static_cast<std::size_t>(prep_map[v])];
+      if (p == -1) p = part[v];
+    }
+  } else {
+    stored_part = part;
+  }
   double cut = 0.0;
   double connectivity = 0.0;
   const std::int32_t m = meta.num_edges;
@@ -241,7 +316,7 @@ std::pair<double, double> LoadedSnapshot::kway_cost(
         pin_offsets[static_cast<std::size_t>(e) + 1]);
     seen.clear();
     for (std::size_t i = begin; i < end; ++i) {
-      const std::int32_t p = part[static_cast<std::size_t>(pins[i])];
+      const std::int32_t p = stored_part[static_cast<std::size_t>(pins[i])];
       if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
         seen.push_back(p);
       }
@@ -338,15 +413,26 @@ StatusOr<TreeServer::MinCutAnswer> TreeServer::min_cut(
   if (!snap.gomory_hu.has_value()) {
     return Status::InvalidArgument("snapshot has no Gomory-Hu tree");
   }
-  const std::int32_t n = snap.meta.num_vertices;
+  const std::int32_t n = snap.original_vertices();
   if (s < 0 || s >= n || t < 0 || t >= n || s == t) {
     return Status::InvalidArgument("min_cut needs distinct vertices in "
                                    "[0, n)");
   }
+  const std::int32_t stored_s = snap.to_stored(s);
+  const std::int32_t stored_t = snap.to_stored(t);
+  if (stored_s == stored_t) {
+    return Status::InvalidArgument("min_cut endpoints were merged by "
+                                   "preprocessing; rebuild with prep off "
+                                   "or exact-only");
+  }
   MinCutAnswer answer;
-  answer.value = snap.gomory_hu->min_cut(s, t);
+  answer.value = snap.gomory_hu->min_cut(stored_s, stored_t);
+  // Per-pair s-t cuts survive only the cut-preserving rules (zero-edge
+  // drop, duplicate merge); heavy contraction preserves just the global
+  // min-cut value, so it demotes the answer to a dominating estimate.
   answer.exact =
-      (snap.meta.artifact_flags & snapshot::kGomoryHuComplete) != 0;
+      (snap.meta.artifact_flags & snapshot::kGomoryHuComplete) != 0 &&
+      (!snap.has_prep || prep::stages_cut_preserving(snap.prep.stage_flags));
   return answer;
 }
 
@@ -361,7 +447,7 @@ StatusOr<TreeServer::SetCutAnswer> TreeServer::set_cut(
   if (!snap.vertex_cut_tree.has_value()) {
     return Status::InvalidArgument("snapshot has no vertex cut tree");
   }
-  const std::int32_t n = snap.meta.num_vertices;
+  const std::int32_t n = snap.original_vertices();
   if (a.empty() || b.empty()) {
     return Status::InvalidArgument("set_cut needs non-empty sides");
   }
@@ -380,6 +466,24 @@ StatusOr<TreeServer::SetCutAnswer> TreeServer::set_cut(
       return Status::InvalidArgument("set_cut sides must be disjoint");
     }
   }
+  // Disjoint ids can still land on one tree node once preprocessing has
+  // contracted them together (or the star expansion embedded them so);
+  // the DP's terminal marking treats that as a caller error, so reject it
+  // here as a Status instead.
+  {
+    const cuttree::Tree& tree = *snap.vertex_cut_tree;
+    std::vector<bool> node_in_a(static_cast<std::size_t>(tree.num_nodes()),
+                                false);
+    for (std::int32_t v : a) {
+      node_in_a[static_cast<std::size_t>(tree.node_of_vertex(v))] = true;
+    }
+    for (std::int32_t v : b) {
+      if (node_in_a[static_cast<std::size_t>(tree.node_of_vertex(v))]) {
+        return Status::InvalidArgument("set_cut sides share a tree node "
+                                       "(vertices merged by preprocessing)");
+      }
+    }
+  }
   SetCutAnswer answer;
   answer.value = cuttree::tree_vertex_cut_dp(*snap.vertex_cut_tree, a, b);
   return answer;
@@ -395,7 +499,10 @@ StatusOr<TreeServer::BisectionAnswer> TreeServer::bisection(
   if (!snap.vertex_cut_tree.has_value()) {
     return Status::InvalidArgument("snapshot has no vertex cut tree");
   }
-  const std::int32_t n = snap.meta.num_vertices;
+  // Balance is over ORIGINAL vertices: the lifted tree embeds every
+  // original id (a contracted cluster's members at one node), and the DP
+  // counts multiplicities per node.
+  const std::int32_t n = snap.original_vertices();
   if (n % 2 != 0) {
     return Status::InvalidArgument("bisection needs an even vertex count");
   }
@@ -421,7 +528,7 @@ StatusOr<TreeServer::KwayAnswer> TreeServer::kway(std::int32_t k,
   if (!snap.decomposition.has_value()) {
     return Status::InvalidArgument("snapshot has no decomposition tree");
   }
-  const std::int32_t n = snap.meta.num_vertices;
+  const std::int32_t n = snap.original_vertices();
   if (k < 2 || n % k != 0) {
     return Status::InvalidArgument("kway needs k >= 2 dividing the vertex "
                                    "count");
@@ -460,8 +567,15 @@ StatusOr<TreeServer::KwayAnswer> TreeServer::kway(std::int32_t k,
 TreeServer::Info TreeServer::info() const {
   Info info;
   const auto snap = state();
-  info.num_vertices = snap->meta.num_vertices;
-  info.num_edges = snap->meta.num_edges;
+  info.num_vertices = snap->original_vertices();
+  info.num_edges =
+      snap->has_prep ? snap->prep.orig_num_edges : snap->meta.num_edges;
+  info.stored_vertices = snap->meta.num_vertices;
+  info.stored_edges = snap->meta.num_edges;
+  info.preprocessed = snap->has_prep;
+  info.prep_stage_flags = snap->has_prep ? snap->prep.stage_flags : 0u;
+  info.prep_exact =
+      snap->has_prep && prep::stages_exact(snap->prep.stage_flags);
   info.format_version = snap->snap.header().version;
   info.snapshot_bytes = snap->snap.size_bytes();
   info.has_gomory_hu = snap->gomory_hu.has_value();

@@ -44,6 +44,15 @@ namespace serve {
 /// served zero-copy out of the mapping; the O(n) tree structures are
 /// validated and materialized once at load so every query can run the
 /// existing (tested) tree DPs without touching the file again.
+///
+/// Preprocessed snapshots (kPrepMeta present) store the REDUCED instance;
+/// at load the prep vertex map is validated and the cut/decomposition
+/// trees are lifted so their embeddings are indexed by ORIGINAL vertex
+/// ids (a contracted cluster's originals all embed at the cluster's tree
+/// node — the tree DPs aggregate multiplicities per node, so balance
+/// constraints count original vertices). Every TreeServer answer is in
+/// original ids; only the Gomory–Hu walk maps through the prep map, and
+/// rejects pairs the preprocessing merged.
 struct LoadedSnapshot {
   snapshot::Snapshot snap;  // owns the mapping the spans point into
   snapshot::MetaBlock meta;
@@ -54,9 +63,16 @@ struct LoadedSnapshot {
   std::span<const std::int64_t> pin_offsets;
   std::span<const std::int32_t> pins;
 
+  // Preprocessing provenance; has_prep == false leaves prep zeroed and
+  // prep_map empty (identity).
+  snapshot::PrepBlock prep{};
+  std::span<const std::int32_t> prep_map;  // original -> stored vertex
+  bool has_prep = false;
+
   std::optional<flow::HypergraphGomoryHuTree> gomory_hu;
-  std::optional<cuttree::Tree> vertex_cut_tree;   // star expansion (n + m)
-  std::optional<cuttree::Tree> decomposition;     // clique expansion (n)
+  std::optional<cuttree::Tree> vertex_cut_tree;   // star expansion,
+                                                  // embedding over orig n
+  std::optional<cuttree::Tree> decomposition;     // clique expansion, ditto
 
   /// Validates and assembles a serving epoch from a mapped snapshot.
   /// Every structural claim the file makes (array lengths vs. meta
@@ -68,9 +84,24 @@ struct LoadedSnapshot {
   static StatusOr<std::shared_ptr<const LoadedSnapshot>> load_file(
       const std::string& path);
 
-  /// Exact delta_H of a side assignment, evaluated over the mapped CSR.
+  /// The id space queries use: the original vertex count (== stored count
+  /// without preprocessing).
+  std::int32_t original_vertices() const {
+    return has_prep ? prep.orig_num_vertices : meta.num_vertices;
+  }
+  std::int32_t to_stored(std::int32_t original) const {
+    return has_prep ? prep_map[static_cast<std::size_t>(original)]
+                    : original;
+  }
+
+  /// delta_H of a side assignment over ORIGINAL ids, evaluated on the
+  /// stored CSR. Exact for the stored instance; when the bisection DP
+  /// splits a contracted cluster, the cluster counts on both sides of
+  /// every incident stored hyperedge (the dominating reading).
   double cut_weight(const std::vector<bool>& side) const;
-  /// Exact (cut, connectivity) of a k-way assignment over the mapped CSR.
+  /// (cut, connectivity) of a k-way assignment over ORIGINAL ids on the
+  /// stored CSR. The edge-cut DP never splits a cluster, so under
+  /// preprocessing a cluster takes the part of its first original member.
   std::pair<double, double> kway_cost(
       const std::vector<std::int32_t>& part) const;
 };
@@ -108,10 +139,19 @@ class TreeServer {
   };
 
   struct Info {
+    /// The id space queries address: ORIGINAL vertices/edges (equal to
+    /// the stored counts when the snapshot is not preprocessed).
     std::int32_t num_vertices = 0;
     std::int32_t num_edges = 0;
+    /// The instance actually stored in (and served from) the snapshot.
+    std::int32_t stored_vertices = 0;
+    std::int32_t stored_edges = 0;
     std::uint32_t format_version = 0;
+    std::uint32_t prep_stage_flags = 0;  // ht::prep::kStage* bits
     std::size_t snapshot_bytes = 0;
+    bool preprocessed = false;
+    /// Pipeline preserved the global min-cut value (no lossy stage).
+    bool prep_exact = false;
     bool has_gomory_hu = false;
     bool has_vertex_cut_tree = false;
     bool has_decomposition = false;

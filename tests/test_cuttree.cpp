@@ -445,4 +445,78 @@ TEST(Quality, RandomSetPairsDisjoint) {
   }
 }
 
+
+// ---------- from_arrays error paths ----------
+
+TEST(TreeFromArrays, RoundTripsAValidTree) {
+  const std::vector<ht::cuttree::NodeId> parent = {-1, 0, 0, 1};
+  const std::vector<double> node_weight = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> edge_weight = {0.0, 5.0, 6.0, 7.0};
+  const std::vector<ht::cuttree::NodeId> vertex_node = {3, 2, 1};
+  const auto tree = Tree::from_arrays(parent, node_weight, edge_weight,
+                                      vertex_node);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 4);
+  EXPECT_EQ(tree->root(), 0);
+  EXPECT_EQ(tree->node_of_vertex(0), 3);
+  EXPECT_DOUBLE_EQ(tree->edge_weight(3), 7.0);
+}
+
+TEST(TreeFromArrays, RejectsEmptyArrays) {
+  const auto tree = Tree::from_arrays({}, {}, {}, {});
+  EXPECT_EQ(tree.status().code(), ht::StatusCode::kInvalidArgument);
+}
+
+TEST(TreeFromArrays, RejectsLengthMismatch) {
+  const std::vector<ht::cuttree::NodeId> parent = {-1, 0};
+  const std::vector<double> node_weight = {1.0, 2.0};
+  const std::vector<double> edge_weight = {0.0};  // one short
+  const std::vector<ht::cuttree::NodeId> vertex_node = {0};
+  const auto tree = Tree::from_arrays(parent, node_weight, edge_weight,
+                                      vertex_node);
+  EXPECT_EQ(tree.status().code(), ht::StatusCode::kInvalidArgument);
+}
+
+TEST(TreeFromArrays, RejectsRootWithParent) {
+  const std::vector<ht::cuttree::NodeId> parent = {1, -1};
+  const std::vector<double> weights = {1.0, 1.0};
+  const std::vector<ht::cuttree::NodeId> vertex_node = {0};
+  const auto tree = Tree::from_arrays(parent, weights, weights, vertex_node);
+  EXPECT_EQ(tree.status().code(), ht::StatusCode::kInvalidArgument);
+}
+
+TEST(TreeFromArrays, RejectsParentOutOfTopologicalOrder) {
+  // Node 1 claims node 2 as parent: parents must precede children.
+  const std::vector<ht::cuttree::NodeId> parent = {-1, 2, 0};
+  const std::vector<double> weights = {1.0, 1.0, 1.0};
+  const std::vector<ht::cuttree::NodeId> vertex_node = {0};
+  const auto tree = Tree::from_arrays(parent, weights, weights, vertex_node);
+  EXPECT_EQ(tree.status().code(), ht::StatusCode::kInvalidArgument);
+}
+
+TEST(TreeFromArrays, RejectsVertexEmbeddingOutOfRange) {
+  const std::vector<ht::cuttree::NodeId> parent = {-1, 0};
+  const std::vector<double> weights = {1.0, 1.0};
+  const std::vector<ht::cuttree::NodeId> vertex_node = {2};  // only 2 nodes
+  const auto tree = Tree::from_arrays(parent, weights, weights, vertex_node);
+  EXPECT_EQ(tree.status().code(), ht::StatusCode::kInvalidArgument);
+}
+
+TEST(TreeFromArrays, LiftVerticesReembedsThroughAContractionMap) {
+  const std::vector<ht::cuttree::NodeId> parent = {-1, 0, 0};
+  const std::vector<double> weights = {1.0, 1.0, 1.0};
+  const std::vector<ht::cuttree::NodeId> vertex_node = {1, 2};
+  auto tree = Tree::from_arrays(parent, weights, weights, vertex_node);
+  ASSERT_TRUE(tree.ok());
+  // Four original vertices contracted 2:1 onto the embedded pair.
+  const std::vector<ht::cuttree::VertexId> to_current = {0, 0, 1, 1};
+  tree->lift_vertices(to_current);
+  EXPECT_EQ(tree->num_embedded_vertices(), 4);
+  EXPECT_EQ(tree->node_of_vertex(0), 1);
+  EXPECT_EQ(tree->node_of_vertex(1), 1);
+  EXPECT_EQ(tree->node_of_vertex(2), 2);
+  EXPECT_EQ(tree->node_of_vertex(3), 2);
+  tree->validate();
+}
+
 }  // namespace

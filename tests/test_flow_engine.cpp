@@ -356,4 +356,59 @@ TEST(FlowEngineGolden, GoldensHoldWithReuseDisabled) {
   }
 }
 
+
+TEST(SubsetView, EmptySubsetsAreValidAndMaterializeEmpty) {
+  ht::Rng rng(7);
+  const auto g = ht::graph::gnp_connected(12, 0.4, rng);
+  {
+    const ht::graph::SubsetView view(g, {});
+    EXPECT_EQ(view.size(), 0);
+    EXPECT_FALSE(view.contains(0));
+    EXPECT_DOUBLE_EQ(view.total_vertex_weight(), 0.0);
+    const auto sub = view.materialize();
+    EXPECT_EQ(sub.graph.num_vertices(), 0);
+    EXPECT_TRUE(sub.old_of_new.empty());
+  }
+  ht::Rng hrng(8);
+  const auto h = ht::hypergraph::random_uniform(12, 24, 3, hrng);
+  {
+    const ht::hypergraph::SubsetView view(h, {});
+    EXPECT_EQ(view.size(), 0);
+    EXPECT_FALSE(view.contains(0));
+    EXPECT_DOUBLE_EQ(view.total_vertex_weight(), 0.0);
+    const auto sub = view.materialize();
+    EXPECT_EQ(sub.hypergraph.num_vertices(), 0);
+    EXPECT_EQ(sub.hypergraph.num_edges(), 0);
+  }
+}
+
+TEST(SubsetView, SingletonSubsetsKeepTheVertexAndDropAllEdges) {
+  ht::Rng rng(9);
+  const auto g = ht::graph::gnp_connected(10, 0.5, rng);
+  {
+    const ht::graph::SubsetView view(g, {4});
+    EXPECT_EQ(view.size(), 1);
+    EXPECT_EQ(view.old_of(0), 4);
+    EXPECT_EQ(view.local_of(4), 0);
+    EXPECT_EQ(view.local_of(5), -1);
+    EXPECT_DOUBLE_EQ(view.total_vertex_weight(), g.vertex_weight(4));
+    const auto sub = view.materialize();
+    EXPECT_EQ(sub.graph.num_vertices(), 1);
+    EXPECT_EQ(sub.graph.num_edges(), 0);  // no 2-pin edge survives
+  }
+  ht::Rng hrng(10);
+  const auto h = ht::hypergraph::random_uniform(10, 30, 3, hrng);
+  {
+    const ht::hypergraph::SubsetView view(h, {4});
+    EXPECT_EQ(view.size(), 1);
+    EXPECT_EQ(view.old_of(0), 4);
+    EXPECT_TRUE(view.contains(4));
+    EXPECT_FALSE(view.contains(3));
+    const auto sub = view.materialize();
+    EXPECT_EQ(sub.hypergraph.num_vertices(), 1);
+    EXPECT_EQ(sub.hypergraph.num_edges(), 0);  // < 2 surviving pins
+  }
+}
+
 }  // namespace
+
