@@ -9,8 +9,18 @@
 // milliseconds to seconds.
 //
 // Output: a table per query kind (qps, p50/p99 microseconds) and
-// BENCH_serve.json for CI (perf-smoke validates the JSON and soft-warns
-// when p99 regresses 2x against the checked-in baseline).
+// BENCH_serve.json for CI (tools/bench_diff.py validates the JSON and
+// gates qps/p99 against the checked-in baseline).
+//
+// Observability measurements in the same JSON:
+//  - the four query sections run twice, flight recorder off then on;
+//    "flight_recorder" reports both aggregate qps figures, the relative
+//    overhead (soft CI gate: <= 2%), and a direct append() micro-bench
+//    (ns/record) — the honest per-record cost independent of query size.
+//  - "latency_hist" embeds the per-kind serve.latency.* histogram
+//    quantiles (p50/p90/p99) as the server itself measured them, the
+//    numbers a scrape of the live registry would serve.
+//  - "metrics" embeds the full registry snapshot (versioned JSON).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -119,29 +129,87 @@ int main() {
   }
   const std::int32_t n = server->info().num_vertices;
 
-  std::vector<QueryStats> sections;
-  ht::Rng pick(1);
-  sections.push_back(measure("min_cut", 20000, [&](std::uint64_t) {
-    const auto s = static_cast<std::int32_t>(pick() % n);
-    auto t = static_cast<std::int32_t>(pick() % n);
-    if (t == s) t = (t + 1) % n;
-    (void)*server->min_cut(s, t);
-  }));
-  sections.push_back(measure("set_cut", 2000, [&](std::uint64_t) {
-    std::vector<std::int32_t> a{static_cast<std::int32_t>(pick() % n)};
-    std::vector<std::int32_t> b;
-    while (b.empty()) {
-      const auto v = static_cast<std::int32_t>(pick() % n);
-      if (v != a[0]) b.push_back(v);
+  // The four query sections as one reusable pass (fresh Rng per pass so
+  // both passes issue the identical query stream).
+  auto run_sections = [&server, n]() {
+    std::vector<QueryStats> sections;
+    ht::Rng pick(1);
+    sections.push_back(measure("min_cut", 20000, [&](std::uint64_t) {
+      const auto s = static_cast<std::int32_t>(pick() % n);
+      auto t = static_cast<std::int32_t>(pick() % n);
+      if (t == s) t = (t + 1) % n;
+      (void)*server->min_cut(s, t);
+    }));
+    sections.push_back(measure("set_cut", 2000, [&](std::uint64_t) {
+      std::vector<std::int32_t> a{static_cast<std::int32_t>(pick() % n)};
+      std::vector<std::int32_t> b;
+      while (b.empty()) {
+        const auto v = static_cast<std::int32_t>(pick() % n);
+        if (v != a[0]) b.push_back(v);
+      }
+      (void)*server->set_cut(a, b);
+    }));
+    sections.push_back(measure("bisection", 200, [&](std::uint64_t) {
+      (void)*server->bisection();
+    }));
+    sections.push_back(measure("kway4", 100, [&](std::uint64_t) {
+      (void)*server->kway(4);
+    }));
+    return sections;
+  };
+  const auto aggregate_qps = [](const std::vector<QueryStats>& sections) {
+    std::uint64_t queries = 0;
+    double wall_ms = 0.0;
+    for (const auto& s : sections) {
+      queries += s.queries;
+      wall_ms += s.wall_ms;
     }
-    (void)*server->set_cut(a, b);
-  }));
-  sections.push_back(measure("bisection", 200, [&](std::uint64_t) {
-    (void)*server->bisection();
-  }));
-  sections.push_back(measure("kway4", 100, [&](std::uint64_t) {
-    (void)*server->kway(4);
-  }));
+    return wall_ms > 0.0
+               ? 1000.0 * static_cast<double>(queries) / wall_ms
+               : 0.0;
+  };
+
+  // Recorder-overhead A/B: identical query stream with appends disabled,
+  // then enabled; the enabled pass is the headline measurement. Aggregate
+  // (mixed-workload) qps is the gated figure — per-record cost is also
+  // measured directly below, because on a ~250 ns min_cut walk even one
+  // extra cache line is a visible fraction while the workload-level cost
+  // stays far under the 2% gate.
+  auto& recorder = ht::obs::FlightRecorder::global();
+  (void)run_sections();  // warmup: touch every DP/code path once
+  recorder.set_enabled(false);
+  const double qps_recorder_off = aggregate_qps(run_sections());
+  recorder.set_enabled(true);
+  const std::vector<QueryStats> sections = run_sections();
+  const double qps_recorder_on = aggregate_qps(sections);
+  const double overhead_pct =
+      qps_recorder_off > 0.0
+          ? 100.0 * (qps_recorder_off - qps_recorder_on) / qps_recorder_off
+          : 0.0;
+
+  // Direct append cost (what "always on at ~tens of ns/record" claims).
+  double append_ns = 0.0;
+  {
+    ht::obs::FlightRecord probe;
+    probe.kind = ht::obs::QueryKind::kMinCut;
+    probe.latency_ns = 1000;
+    constexpr int kAppends = 200000;
+    const auto a0 = Clock::now();
+    for (int i = 0; i < kAppends; ++i) recorder.append(probe);
+    append_ns = std::chrono::duration<double, std::nano>(Clock::now() - a0)
+                    .count() /
+                kAppends;
+  }
+
+  // Per-kind latency quantiles as the serving layer itself measured them
+  // (both passes above; snapshot before the swap storm pollutes them).
+  const char* kKinds[4] = {"min_cut", "set_cut", "bisection", "kway"};
+  ht::obs::HistogramSnapshot latency_hist[4];
+  for (int i = 0; i < 4; ++i) {
+    latency_hist[i] = ht::obs::MetricsRegistry::global()
+                          .histogram(std::string("serve.latency.") + kKinds[i])
+                          .snapshot();
+  }
 
   // Hot-swap under load: 2 query threads hammering min_cut while the main
   // thread swaps repeatedly; the gate is zero dropped (failed) queries.
@@ -192,6 +260,20 @@ int main() {
       static_cast<unsigned long long>(swap_answered.load()),
       static_cast<unsigned long long>(swap_failed.load()),
       swap_gate_ok ? "PASS (zero dropped)" : "FAIL");
+  std::printf(
+      "flight recorder: %.1f qps on vs %.1f qps off (overhead %.3f%%, "
+      "soft gate <= 2%%), append %.1f ns/record, %llu recorded\n",
+      qps_recorder_on, qps_recorder_off, overhead_pct, append_ns,
+      static_cast<unsigned long long>(recorder.recorded()));
+  std::printf("%-10s %10s %10s %10s %10s\n", "latency", "count", "p50_us",
+              "p90_us", "p99_us");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("%-10s %10llu %10.3f %10.3f %10.3f\n", kKinds[i],
+                static_cast<unsigned long long>(latency_hist[i].count),
+                latency_hist[i].p50() / 1000.0,
+                latency_hist[i].p90() / 1000.0,
+                latency_hist[i].p99() / 1000.0);
+  }
 
   std::string json = "{\n";
   {
@@ -208,12 +290,39 @@ int main() {
     std::snprintf(
         buf, sizeof(buf),
         "  \"hot_swap\": {\"swaps\": %d, \"wall_ms\": %.3f, "
-        "\"answered\": %llu, \"dropped\": %llu}\n",
+        "\"answered\": %llu, \"dropped\": %llu},\n",
         swaps, swap_ms,
         static_cast<unsigned long long>(swap_answered.load()),
         static_cast<unsigned long long>(swap_failed.load()));
     json += buf;
   }
+  {
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"flight_recorder\": {\"qps_on\": %.1f, \"qps_off\": %.1f, "
+        "\"overhead_pct\": %.4f, \"append_ns\": %.2f, \"records\": %llu},\n",
+        qps_recorder_on, qps_recorder_off, overhead_pct, append_ns,
+        static_cast<unsigned long long>(recorder.recorded()));
+    json += buf;
+  }
+  json += "  \"latency_hist\": {\n";
+  for (int i = 0; i < 4; ++i) {
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    \"%s\": {\"count\": %llu, \"p50_us\": %.3f, \"p90_us\": %.3f, "
+        "\"p99_us\": %.3f, \"max_us\": %.3f}%s\n",
+        kKinds[i], static_cast<unsigned long long>(latency_hist[i].count),
+        latency_hist[i].p50() / 1000.0, latency_hist[i].p90() / 1000.0,
+        latency_hist[i].p99() / 1000.0,
+        static_cast<double>(latency_hist[i].max) / 1000.0,
+        i + 1 < 4 ? "," : "");
+    json += buf;
+  }
+  json += "  },\n";
+  json += "  \"metrics\": " +
+          ht::obs::MetricsRegistry::global().snapshot_json() + "\n";
   json += "}\n";
   if (std::FILE* f = std::fopen("BENCH_serve.json", "w")) {
     std::fputs(json.c_str(), f);

@@ -8,7 +8,8 @@
 //                     [--seed=S] [--deadline-ms=N] [--threads=N]
 //                     [--build-info=TEXT] [--prep=off|exact|aggressive]
 //   $ ./hypertree_cli serve <snapshot.htsnap> [--deadline-ms=N]
-//                     [--threads=N]
+//                     [--threads=N] [--slow-query-us=N]
+//                     [--flight-dump=FILE] [--no-flight-recorder]
 //
 // Thread-count precedence (everywhere): --threads=N beats the HT_THREADS
 // environment variable, which beats the hardware default. The flag is
@@ -29,7 +30,17 @@
 //   kway <k>       balanced k-way partition (decomposition-tree DP)
 //   info           snapshot + server counters
 //   swap <path>    hot-swap to another snapshot (old queries finish first)
+//   stats          one-line versioned JSON snapshot of the metrics registry
+//   metrics        Prometheus text exposition of the registry (multi-line,
+//                  terminated by a line "# EOF")
+//   flight         one-line versioned JSON dump of the flight recorder
 //   quit           exit 0
+//
+// Observability flags: every query appends one record to the in-process
+// flight recorder (disable with --no-flight-recorder); queries slower
+// than --slow-query-us (default 100000) record a serve.slow_query trace
+// span; --flight-dump=FILE rewrites FILE with the recorder dump whenever
+// a query fails.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -51,6 +62,9 @@ struct Options {
   std::uint64_t seed = 42;
   std::int64_t deadline_ms = 0;
   std::int64_t threads = -1;  // -1 = not given, HT_THREADS applies
+  std::int64_t slow_query_us = 100000;
+  std::string flight_dump;
+  bool flight_recorder = true;
   bool quiet = false;
 };
 
@@ -77,6 +91,13 @@ bool parse(int argc, char** argv, Options& out) {
                   << arg << "\n";
         return false;
       }
+    } else if (arg.rfind("--slow-query-us=", 0) == 0) {
+      out.slow_query_us = std::atoll(arg.c_str() + 16);
+      if (out.slow_query_us < 0) return false;
+    } else if (arg.rfind("--flight-dump=", 0) == 0) {
+      out.flight_dump = arg.substr(14);
+    } else if (arg == "--no-flight-recorder") {
+      out.flight_recorder = false;
     } else if (arg == "--quiet") {
       out.quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -167,16 +188,22 @@ bool parse_id_csv(const std::string& text, std::vector<std::int32_t>& out) {
 }
 
 int run_serve(const Options& options) {
-  auto server = ht::TreeServer::open(options.path);
+  // The query path is pure tree DPs — no pool involvement — but the
+  // resolved thread count (flag > HT_THREADS > hardware) is still
+  // reported so operators can see what a swap-triggered rebuild would use.
+  const ht::RunContext base = make_context(options);
+  ht::Solver solver(base);
+  ht::serve::ServeOptions serve_options;
+  serve_options.flight_recorder = options.flight_recorder;
+  serve_options.slow_query_ns =
+      static_cast<std::uint64_t>(options.slow_query_us) * 1000;
+  serve_options.flight_dump_path = options.flight_dump;
+  auto server = solver.serve(options.path, serve_options);
   if (!server.has_value()) {
     std::cerr << "failed to open snapshot " << options.path << ": "
               << server.status().to_string() << "\n";
     return 1;
   }
-  // The query path is pure tree DPs — no pool involvement — but the
-  // resolved thread count (flag > HT_THREADS > hardware) is still
-  // reported so operators can see what a swap-triggered rebuild would use.
-  const ht::RunContext base = make_context(options);
   const auto info = server->info();
   std::cout << "# serving n=" << info.num_vertices << " m=" << info.num_edges
             << " version=" << info.format_version
@@ -204,7 +231,18 @@ int run_serve(const Options& options) {
                 << " stored_m=" << now.stored_edges
                 << " preprocessed=" << (now.preprocessed ? 1 : 0)
                 << " queries=" << now.queries << " swaps=" << now.swaps
-                << "\n";
+                << " epoch=" << now.epoch << "\n";
+    } else if (cmd == "stats") {
+      // One consistent registry copy, as sorted + escaped versioned JSON.
+      std::cout << ht::obs::MetricsRegistry::global().snapshot_json() << "\n";
+    } else if (cmd == "metrics") {
+      // Prometheus text is multi-line; "# EOF" lets line-oriented callers
+      // find the end without counting series.
+      std::cout << ht::obs::prometheus_text(
+                       ht::obs::MetricsRegistry::global().snapshot())
+                << "# EOF\n";
+    } else if (cmd == "flight") {
+      std::cout << ht::obs::FlightRecorder::global().dump_json() << "\n";
     } else if (cmd == "minc") {
       std::int32_t s = -1, t = -1;
       if (!(in >> s >> t)) {
@@ -356,7 +394,8 @@ int main(int argc, char** argv) {
            "[--seed=S] [--deadline-ms=N] [--threads=N] [--build-info=TEXT] "
            "[--prep=off|exact|aggressive]\n"
            "       hypertree_cli serve <snapshot.htsnap> [--deadline-ms=N] "
-           "[--threads=N]\n";
+           "[--threads=N] [--slow-query-us=N] [--flight-dump=FILE] "
+           "[--no-flight-recorder]\n";
     return 2;
   }
   if (options.command == "build-snapshot") return run_build_snapshot(options);

@@ -57,6 +57,11 @@
 #include "serve/snapshot_writer.hpp"
 #include "serve/tree_server.hpp"
 
+// Serving observability: registry exporters (Prometheus text / versioned
+// JSON) and the always-on per-query flight recorder.
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+
 // Presentation helpers used by the examples.
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -137,6 +142,15 @@ class Solver {
                         const std::string& path,
                         snapshot::BuildOptions options = {},
                         snapshot::BuildReport* report = nullptr);
+
+  /// Opens a .htsnap snapshot for serving, with the solver's thread
+  /// configuration applied before any query runs and the serving
+  /// observability knobs (flight recorder, slow-query threshold,
+  /// on-error auto-dump) fixed for the server's lifetime. Per-query
+  /// deadlines are passed to the individual query calls, not through the
+  /// solver's context.
+  StatusOr<TreeServer> serve(const std::string& path,
+                             serve::ServeOptions options = {});
 
   /// Parses an hMetis file; kInvalidArgument (no value) on malformed
   /// input. No RunContext involvement — IO is not interruptible.

@@ -102,6 +102,12 @@ StatusOr<flow::HypergraphGomoryHuRunResult> Solver::gomory_hu(
   return {scope.status(), std::move(result)};
 }
 
+StatusOr<TreeServer> Solver::serve(const std::string& path,
+                                   serve::ServeOptions options) {
+  prepare_pool();
+  return TreeServer::open(path, std::move(options));
+}
+
 StatusOr<hypergraph::Hypergraph> Solver::read_hmetis(
     const std::string& path) {
   return hypergraph::try_read_hmetis_file(path);

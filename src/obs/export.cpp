@@ -1,0 +1,167 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ht::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "ht_";
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0])))
+    out += '_';
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_text(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " counter\n" + p + " ";
+    append_u64(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " gauge\n" + p + " ";
+    append_i64(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      out += p + "_bucket{le=\"";
+      append_u64(out, Histogram::bucket_upper_bound(b));
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += p + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, cumulative);
+    out += '\n';
+    out += p + "_sum ";
+    append_u64(out, h.sum);
+    out += '\n';
+    out += p + "_count ";
+    append_u64(out, h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string registry_json(const RegistrySnapshot& snapshot) {
+  std::string out = "{\"version\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":";
+    append_u64(out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":";
+    append_i64(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{\"count\":";
+    append_u64(out, h.count);
+    out += ",\"sum\":";
+    append_u64(out, h.sum);
+    out += ",\"max\":";
+    append_u64(out, h.max);
+    out += ",\"p50\":";
+    append_double(out, h.p50());
+    out += ",\"p90\":";
+    append_double(out, h.p90());
+    out += ",\"p99\":";
+    append_double(out, h.p99());
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '[';
+      append_u64(out, Histogram::bucket_upper_bound(b));
+      out += ',';
+      append_u64(out, h.buckets[b]);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ht::obs

@@ -1,0 +1,37 @@
+// Registry exporters: Prometheus text exposition format and versioned
+// one-line JSON, both rendered from a RegistrySnapshot so a single
+// consistent copy of the registry feeds every output.
+//
+// Prometheus mapping: metric names are sanitized to the exposition
+// charset ([a-zA-Z0-9_:]) and prefixed "ht_" ("serve.queries" ->
+// "ht_serve_queries"); counters become `counter`, gauges `gauge`, and
+// log2-bucket histograms `histogram` with cumulative `_bucket{le="..."}`
+// series over the non-empty buckets plus `le="+Inf"`, `_sum` and
+// `_count`. JSON output is {"version":1,...} with names sorted (map
+// order) and escaped — byte-comparable across runs with equal values.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ht::obs {
+
+/// JSON string escaping (quotes, backslash, control chars as \u00XX).
+/// Returns the escaped body without surrounding quotes.
+std::string json_escape(const std::string& s);
+
+/// "serve.latency.min_cut" -> "ht_serve_latency_min_cut": any character
+/// outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets an extra
+/// '_' after the prefix.
+std::string prometheus_name(const std::string& name);
+
+/// Prometheus text exposition (text/plain version 0.0.4): # TYPE comments
+/// plus one sample line per series, trailing newline, sorted by name.
+std::string prometheus_text(const RegistrySnapshot& snapshot);
+
+/// One-line versioned JSON: {"version":1,"counters":{...},"gauges":{...},
+/// "histograms":{name:{count,sum,max,p50,p90,p99,buckets:[[ub,c],...]}}}.
+std::string registry_json(const RegistrySnapshot& snapshot);
+
+}  // namespace ht::obs

@@ -1,0 +1,127 @@
+// Flight recorder: a lock-free ring buffer of fixed-size per-query
+// records, always on in the serving path.
+//
+// The recorder answers "what were the last N queries doing?" the moment
+// something goes wrong — a dump is available on demand (CLI `flight`
+// command) and the serve layer writes one automatically on query errors.
+// Unlike tracing (off by default, per-thread unbounded buffers, needs
+// quiescence to read) the flight recorder is bounded, always recording,
+// and readable while writers are appending.
+//
+// Write path: one relaxed fetch_add claims a slot, then a per-slot
+// seqlock (version word + 7 relaxed-atomic payload words, one cache line
+// total) publishes the record — ~10-20 ns on x86, no locks, no
+// allocation. Readers (dump()) validate each slot's version before and
+// after copying the payload and skip slots that were mid-write; a torn
+// read is retried once and then dropped, never blocked on. The only
+// (accepted, documented) imprecision: a writer lapped by `capacity`
+// appends while mid-write can interleave with the lapping writer and
+// produce one corrupted record; the dump is diagnostic, the window is a
+// full ring of appends, and the seqlock still bounds the damage to that
+// single slot.
+//
+// This header is in the dependency-free obs layer: status codes are
+// stored as raw bytes (the serve layer owns the enum), and kinds are the
+// fixed serving query vocabulary.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ht::obs {
+
+/// The serving-layer query vocabulary; values are stable (they appear in
+/// dumps and versioned JSON).
+enum class QueryKind : std::uint8_t {
+  kMinCut = 0,
+  kSetCut = 1,
+  kBisection = 2,
+  kKway = 3,
+};
+
+/// Stable lowercase name ("min_cut", "set_cut", "bisection", "kway").
+const char* query_kind_name(QueryKind kind);
+
+/// One fixed-size per-query record (packed into one 64-byte ring slot).
+struct FlightRecord {
+  std::uint64_t seq = 0;         // assigned by append(); globally ordered
+  std::int64_t start_ns = 0;     // query admission, ns since recorder origin
+  std::uint64_t latency_ns = 0;  // admission -> answer
+  double cut_value = 0.0;        // answered cut/estimate; 0 on error
+  std::int64_t deadline_ns = -1; // deadline headroom at admission; -1 = none
+  std::uint32_t epoch = 0;       // serving epoch the query pinned
+  std::uint16_t thread = 0;      // dense per-process thread index
+  QueryKind kind = QueryKind::kMinCut;
+  std::uint8_t status_code = 0;  // ht::StatusCode numeric value
+  bool prep_exact = false;       // served instance exactly equivalent
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;  // 256 KiB of slots
+
+  /// Capacity is rounded up to a power of two (minimum 8).
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// The process-wide recorder the serving layer appends to.
+  static FlightRecorder& global();
+
+  /// Appends one record (seq is assigned internally; the caller's seq is
+  /// ignored). No-op while disabled. Lock-free, ~tens of ns.
+  void append(const FlightRecord& record);
+
+  /// Copies out every currently-readable record, oldest first (global seq
+  /// order). Safe concurrently with appenders; mid-write slots are
+  /// skipped after one retry.
+  std::vector<FlightRecord> dump() const;
+
+  /// One-line versioned JSON of dump(): {"version":1,"capacity":...,
+  /// "recorded":...,"records":[...]}.
+  std::string dump_json() const;
+
+  /// Total records ever appended (recorded - capacity have been
+  /// overwritten once recorded exceeds capacity).
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Flips appending; dumps keep working either way. The serving bench
+  /// uses this for its recorder-overhead A/B.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since the recorder's origin (its construction).
+  std::int64_t now_ns() const;
+
+  /// Dense per-process index of the calling thread (wraps at 2^16).
+  static std::uint16_t thread_index();
+
+ private:
+  // Seqlock slot: ver == 0 never written; odd = write in progress;
+  // ver == 2*seq + 2 = record `seq` published. Payload words are relaxed
+  // atomics so concurrent read/write is defined behaviour, with fences
+  // providing the seqlock ordering.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> ver{0};
+    std::atomic<std::uint64_t> word[7] = {};
+  };
+
+  bool read_slot(const Slot& slot, FlightRecord& out) const;
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<bool> enabled_{true};
+  std::chrono::steady_clock::time_point origin_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace ht::obs

@@ -1,8 +1,43 @@
 #include "obs/metrics.hpp"
 
-#include <sstream>
+#include "obs/export.hpp"
 
 namespace ht::obs {
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 1.0) return static_cast<double>(max);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets[b];
+    if (n == 0) continue;
+    const double cum_end = static_cast<double>(cumulative + n);
+    if (target <= cum_end) {
+      if (b == 0) return 0.0;  // bucket 0 holds only the value 0
+      const double lo = static_cast<double>(std::uint64_t{1} << (b - 1));
+      double hi = static_cast<double>(Histogram::bucket_upper_bound(b));
+      // The bucket holding the largest sample can't extend past it.
+      if (static_cast<double>(max) < hi && static_cast<double>(max) >= lo)
+        hi = static_cast<double>(max);
+      const double frac =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(n);
+      return lo + frac * (hi - lo);
+    }
+    cumulative += n;
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.max = max();
+  for (int b = 0; b < kBuckets; ++b) s.buckets[b] = bucket(b);
+  return s;
+}
 
 void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
@@ -37,40 +72,17 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
-std::string MetricsRegistry::snapshot_json() const {
+RegistrySnapshot MetricsRegistry::snapshot() const {
   std::scoped_lock lock(mutex_);
-  std::ostringstream os;
-  os << "{\"counters\":{";
-  bool first = true;
-  for (const auto& [name, c] : counters_) {
-    os << (first ? "" : ",") << "\"" << name << "\":" << c->value();
-    first = false;
-  }
-  os << "},\"gauges\":{";
-  first = true;
-  for (const auto& [name, g] : gauges_) {
-    os << (first ? "" : ",") << "\"" << name << "\":" << g->value();
-    first = false;
-  }
-  os << "},\"histograms\":{";
-  first = true;
-  for (const auto& [name, h] : histograms_) {
-    os << (first ? "" : ",") << "\"" << name << "\":{\"count\":"
-       << h->count() << ",\"sum\":" << h->sum() << ",\"max\":" << h->max()
-       << ",\"buckets\":[";
-    bool first_bucket = true;
-    for (int b = 0; b < Histogram::kBuckets; ++b) {
-      const std::uint64_t n = h->bucket(b);
-      if (n == 0) continue;
-      os << (first_bucket ? "" : ",") << "["
-         << Histogram::bucket_upper_bound(b) << "," << n << "]";
-      first_bucket = false;
-    }
-    os << "]}";
-    first = false;
-  }
-  os << "}}";
-  return os.str();
+  RegistrySnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  return registry_json(snapshot());
 }
 
 void MetricsRegistry::reset_all() {

@@ -25,6 +25,36 @@
 
 namespace ht::obs {
 
+/// Point-in-time copy of one histogram, with quantile estimation. count,
+/// sum and max are exact; quantile(q) assumes values spread uniformly
+/// within their log2 bucket (lower bound of the bucket at the bottom edge,
+/// upper bound at the top), so the estimate is exact at bucket boundaries
+/// and never leaves the containing bucket. The top occupied bucket is
+/// clamped to the exact recorded max.
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 65;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::uint64_t buckets[kBuckets] = {};
+
+  /// Value at cumulative fraction q in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+};
+
+/// Point-in-time copy of the whole registry, sorted by name (std::map).
+/// The exporter (obs/export.hpp) renders this as Prometheus text or
+/// versioned JSON.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
 /// Monotone event count.
 class Counter {
  public:
@@ -86,6 +116,10 @@ class Histogram {
     if (b >= 64) return ~std::uint64_t{0};
     return (std::uint64_t{1} << b) - 1;
   }
+  /// Copies the live buckets out. Concurrent record() calls may land
+  /// between bucket reads, so count can lag the bucket total by the
+  /// records in flight — each bucket value is itself consistent.
+  HistogramSnapshot snapshot() const;
   void reset();
 
  private:
@@ -106,9 +140,15 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  /// One-line JSON object {"counters":{...},"gauges":{...},
-  /// "histograms":{...}} with names sorted; histogram buckets render as
-  /// [upper_bound, count] pairs for the non-empty buckets only.
+  /// Copies every registered metric out, sorted by name.
+  RegistrySnapshot snapshot() const;
+
+  /// One-line JSON object {"version":1,"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with names sorted and escaped; histogram buckets
+  /// render as [upper_bound, count] pairs for the non-empty buckets only
+  /// plus p50/p90/p99 quantile estimates. Equals
+  /// export::registry_json(snapshot()); byte-comparable between runs with
+  /// identical metric values.
   std::string snapshot_json() const;
 
   /// Zeroes every registered metric (registration survives). Benches call

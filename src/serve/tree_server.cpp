@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <utility>
 
 #include "cuttree/tree_bisection.hpp"
 #include "cuttree/tree_edge_partition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "prep/prep.hpp"
@@ -332,51 +334,176 @@ std::pair<double, double> LoadedSnapshot::kway_cost(
 
 }  // namespace serve
 
-struct TreeServer::Shared {
+namespace serve::detail {
+
+struct ServerShared {
   mutable std::mutex mu;
-  std::shared_ptr<const serve::LoadedSnapshot> state;  // guarded by mu
+  std::shared_ptr<const LoadedSnapshot> state;  // guarded by mu
+  std::uint32_t epoch = 1;                      // guarded by mu
+  ServeOptions options;  // immutable after construction
   std::atomic<std::uint64_t> queries{0};
   std::atomic<std::uint64_t> swaps{0};
+
+  /// One consistent (state, epoch) pair for a starting query.
+  std::shared_ptr<const LoadedSnapshot> acquire(
+      std::uint32_t& epoch_out) const {
+    std::lock_guard<std::mutex> lock(mu);
+    epoch_out = epoch;
+    return state;
+  }
 };
+
+}  // namespace serve::detail
 
 namespace {
 
+using serve::detail::ServerShared;
+
+/// The registry references every query touches, resolved once — the hot
+/// path must not pay the registry's name lookup (lock + map walk).
+struct ServeMetrics {
+  obs::Counter& queries;
+  obs::Counter& query_errors;
+  obs::Counter& deadline_expired;
+  obs::Counter& slow_queries;
+  obs::Histogram* latency[4];  // indexed by obs::QueryKind
+
+  static const ServeMetrics& get() {
+    static const ServeMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return ServeMetrics{
+          reg.counter("serve.queries"),
+          reg.counter("serve.query_errors"),
+          reg.counter("serve.deadline_expired"),
+          reg.counter("serve.slow_queries"),
+          {&reg.histogram("serve.latency.min_cut"),
+           &reg.histogram("serve.latency.set_cut"),
+           &reg.histogram("serve.latency.bisection"),
+           &reg.histogram("serve.latency.kway")},
+      };
+    }();
+    return m;
+  }
+};
+
 /// Epoch acquire + per-query bookkeeping shared by every query method.
-struct QueryGuard {
+/// Every exit path routes its status through ok()/fail()/dp_failure(),
+/// and the destructor finalizes observability in one place: per-kind
+/// latency histogram, error counters (deadline expiries split out from
+/// genuine errors), the flight record, the on-error auto-dump, and the
+/// serve.slow_query span. The observer is constructed after the per-kind
+/// serve.* span, so destruction runs first and the slow-query span nests
+/// under the query's own span.
+struct QueryObserver {
   std::shared_ptr<const serve::LoadedSnapshot> state;
   RunScope scope;
+  const serve::ServeOptions& options;
+  obs::QueryKind kind;
+  std::uint32_t epoch = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t deadline_ns = -1;  // headroom at admission; -1 = none
+  double cut_value = 0.0;
+  StatusCode code = StatusCode::kOk;
 
-  QueryGuard(std::shared_ptr<const serve::LoadedSnapshot> s,
-             const RunContext& ctx)
-      : state(std::move(s)), scope(ctx) {
-    obs::MetricsRegistry::global().counter("serve.queries").add();
+  QueryObserver(ServerShared& shared, obs::QueryKind k,
+                const RunContext& ctx)
+      : scope(ctx), options(shared.options), kind(k) {
+    state = shared.acquire(epoch);
+    shared.queries.fetch_add(1, std::memory_order_relaxed);
+    ServeMetrics::get().queries.add();
+    start_ns = obs::FlightRecorder::global().now_ns();
+    if (ctx.has_deadline()) {
+      deadline_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        ctx.deadline - RunContext::Clock::now())
+                        .count();
+    }
+  }
+
+  QueryObserver(const QueryObserver&) = delete;
+  QueryObserver& operator=(const QueryObserver&) = delete;
+
+  ~QueryObserver() {
+    const ServeMetrics& metrics = ServeMetrics::get();
+    auto& recorder = obs::FlightRecorder::global();
+    const std::uint64_t latency_ns =
+        static_cast<std::uint64_t>(recorder.now_ns() - start_ns);
+    metrics.latency[static_cast<int>(kind)]->record(latency_ns);
+    if (code == StatusCode::kDeadlineExceeded) {
+      metrics.deadline_expired.add();
+    } else if (code != StatusCode::kOk) {
+      metrics.query_errors.add();
+    }
+    if (options.flight_recorder) {
+      obs::FlightRecord record;
+      record.start_ns = start_ns;
+      record.latency_ns = latency_ns;
+      record.cut_value = cut_value;
+      record.deadline_ns = deadline_ns;
+      record.epoch = epoch;
+      record.thread = obs::FlightRecorder::thread_index();
+      record.kind = kind;
+      record.status_code = static_cast<std::uint8_t>(code);
+      record.prep_exact =
+          !state->has_prep || prep::stages_exact(state->prep.stage_flags);
+      recorder.append(record);
+    }
+    if (code != StatusCode::kOk && !options.flight_dump_path.empty()) {
+      std::ofstream out(options.flight_dump_path,
+                        std::ios::binary | std::ios::trunc);
+      if (out) out << recorder.dump_json() << '\n';
+    }
+    if (latency_ns > options.slow_query_ns) {
+      metrics.slow_queries.add();
+      obs::TraceSpan span("serve.slow_query");
+      span.arg("kind", obs::query_kind_name(kind));
+      span.arg("latency_ns", static_cast<std::int64_t>(latency_ns));
+      span.arg("epoch", static_cast<std::int64_t>(epoch));
+      span.arg("status", static_cast<std::int64_t>(code));
+      span.arg("deadline_ns", deadline_ns);
+    }
   }
 
   /// Poll once (deadline / cancel) before starting the DP.
-  Status admission() { return scope.state().check(); }
+  Status admission() { return fail(scope.state().check()); }
+
+  /// Routes a terminal status through the observer (ok statuses pass
+  /// through untouched).
+  Status fail(Status st) {
+    code = st.code();
+    return st;
+  }
 
   /// Maps an invalid DP result to the run's stop status (deadline /
   /// cancel latched mid-DP) or Internal for a genuine DP failure.
-  Status dp_failure(const char* what) const {
-    obs::MetricsRegistry::global().counter("serve.query_errors").add();
+  Status dp_failure(const char* what) {
     Status stop = scope.status();
-    if (!stop.ok()) return stop;
-    return Status::Internal(std::string(what) + " DP produced no answer");
+    if (!stop.ok()) return fail(std::move(stop));
+    return fail(Status::Internal(std::string(what) +
+                                 " DP produced no answer"));
+  }
+
+  /// Marks the query answered; `cut` lands in the flight record.
+  void ok(double cut) {
+    code = StatusCode::kOk;
+    cut_value = cut;
   }
 };
 
 }  // namespace
 
-StatusOr<TreeServer> TreeServer::open(const std::string& path) {
+StatusOr<TreeServer> TreeServer::open(const std::string& path,
+                                      serve::ServeOptions options) {
   auto state = serve::LoadedSnapshot::load_file(path);
   if (!state.ok()) return state.status();
-  return from_state(std::move(*state));
+  return from_state(std::move(*state), std::move(options));
 }
 
 TreeServer TreeServer::from_state(
-    std::shared_ptr<const serve::LoadedSnapshot> state) {
-  auto shared = std::make_shared<Shared>();
+    std::shared_ptr<const serve::LoadedSnapshot> state,
+    serve::ServeOptions options) {
+  auto shared = std::make_shared<ServerShared>();
   shared->state = std::move(state);
+  shared->options = std::move(options);
   return TreeServer(std::move(shared));
 }
 
@@ -392,6 +519,7 @@ Status TreeServer::swap(const std::string& path) {
   {
     std::lock_guard<std::mutex> lock(shared_->mu);
     shared_->state = std::move(*next);
+    ++shared_->epoch;
   }
   shared_->swaps.fetch_add(1, std::memory_order_relaxed);
   obs::MetricsRegistry::global().counter("serve.swaps").add();
@@ -403,27 +531,36 @@ std::shared_ptr<const serve::LoadedSnapshot> TreeServer::state() const {
   return shared_->state;
 }
 
+std::uint32_t TreeServer::epoch() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->epoch;
+}
+
+const serve::ServeOptions& TreeServer::options() const {
+  return shared_->options;  // immutable after construction
+}
+
 StatusOr<TreeServer::MinCutAnswer> TreeServer::min_cut(
     std::int32_t s, std::int32_t t, const RunContext& ctx) const {
   obs::TraceSpan span("serve.min_cut");
-  shared_->queries.fetch_add(1, std::memory_order_relaxed);
-  QueryGuard guard(state(), ctx);
+  QueryObserver guard(*shared_, obs::QueryKind::kMinCut, ctx);
   if (Status st = guard.admission(); !st.ok()) return st;
   const serve::LoadedSnapshot& snap = *guard.state;
   if (!snap.gomory_hu.has_value()) {
-    return Status::InvalidArgument("snapshot has no Gomory-Hu tree");
+    return guard.fail(
+        Status::InvalidArgument("snapshot has no Gomory-Hu tree"));
   }
   const std::int32_t n = snap.original_vertices();
   if (s < 0 || s >= n || t < 0 || t >= n || s == t) {
-    return Status::InvalidArgument("min_cut needs distinct vertices in "
-                                   "[0, n)");
+    return guard.fail(Status::InvalidArgument(
+        "min_cut needs distinct vertices in [0, n)"));
   }
   const std::int32_t stored_s = snap.to_stored(s);
   const std::int32_t stored_t = snap.to_stored(t);
   if (stored_s == stored_t) {
-    return Status::InvalidArgument("min_cut endpoints were merged by "
-                                   "preprocessing; rebuild with prep off "
-                                   "or exact-only");
+    return guard.fail(Status::InvalidArgument(
+        "min_cut endpoints were merged by preprocessing; rebuild with prep "
+        "off or exact-only"));
   }
   MinCutAnswer answer;
   answer.value = snap.gomory_hu->min_cut(stored_s, stored_t);
@@ -433,6 +570,7 @@ StatusOr<TreeServer::MinCutAnswer> TreeServer::min_cut(
   answer.exact =
       (snap.meta.artifact_flags & snapshot::kGomoryHuComplete) != 0 &&
       (!snap.has_prep || prep::stages_cut_preserving(snap.prep.stage_flags));
+  guard.ok(answer.value);
   return answer;
 }
 
@@ -440,30 +578,34 @@ StatusOr<TreeServer::SetCutAnswer> TreeServer::set_cut(
     const std::vector<std::int32_t>& a, const std::vector<std::int32_t>& b,
     const RunContext& ctx) const {
   obs::TraceSpan span("serve.set_cut");
-  shared_->queries.fetch_add(1, std::memory_order_relaxed);
-  QueryGuard guard(state(), ctx);
+  QueryObserver guard(*shared_, obs::QueryKind::kSetCut, ctx);
   if (Status st = guard.admission(); !st.ok()) return st;
   const serve::LoadedSnapshot& snap = *guard.state;
   if (!snap.vertex_cut_tree.has_value()) {
-    return Status::InvalidArgument("snapshot has no vertex cut tree");
+    return guard.fail(
+        Status::InvalidArgument("snapshot has no vertex cut tree"));
   }
   const std::int32_t n = snap.original_vertices();
   if (a.empty() || b.empty()) {
-    return Status::InvalidArgument("set_cut needs non-empty sides");
+    return guard.fail(
+        Status::InvalidArgument("set_cut needs non-empty sides"));
   }
   std::vector<bool> in_a(static_cast<std::size_t>(n), false);
   for (std::int32_t v : a) {
     if (v < 0 || v >= n) {
-      return Status::InvalidArgument("set_cut vertex out of range");
+      return guard.fail(
+          Status::InvalidArgument("set_cut vertex out of range"));
     }
     in_a[static_cast<std::size_t>(v)] = true;
   }
   for (std::int32_t v : b) {
     if (v < 0 || v >= n) {
-      return Status::InvalidArgument("set_cut vertex out of range");
+      return guard.fail(
+          Status::InvalidArgument("set_cut vertex out of range"));
     }
     if (in_a[static_cast<std::size_t>(v)]) {
-      return Status::InvalidArgument("set_cut sides must be disjoint");
+      return guard.fail(
+          Status::InvalidArgument("set_cut sides must be disjoint"));
     }
   }
   // Disjoint ids can still land on one tree node once preprocessing has
@@ -479,32 +621,35 @@ StatusOr<TreeServer::SetCutAnswer> TreeServer::set_cut(
     }
     for (std::int32_t v : b) {
       if (node_in_a[static_cast<std::size_t>(tree.node_of_vertex(v))]) {
-        return Status::InvalidArgument("set_cut sides share a tree node "
-                                       "(vertices merged by preprocessing)");
+        return guard.fail(Status::InvalidArgument(
+            "set_cut sides share a tree node (vertices merged by "
+            "preprocessing)"));
       }
     }
   }
   SetCutAnswer answer;
   answer.value = cuttree::tree_vertex_cut_dp(*snap.vertex_cut_tree, a, b);
+  guard.ok(answer.value);
   return answer;
 }
 
 StatusOr<TreeServer::BisectionAnswer> TreeServer::bisection(
     const RunContext& ctx) const {
   obs::TraceSpan span("serve.bisection");
-  shared_->queries.fetch_add(1, std::memory_order_relaxed);
-  QueryGuard guard(state(), ctx);
+  QueryObserver guard(*shared_, obs::QueryKind::kBisection, ctx);
   if (Status st = guard.admission(); !st.ok()) return st;
   const serve::LoadedSnapshot& snap = *guard.state;
   if (!snap.vertex_cut_tree.has_value()) {
-    return Status::InvalidArgument("snapshot has no vertex cut tree");
+    return guard.fail(
+        Status::InvalidArgument("snapshot has no vertex cut tree"));
   }
   // Balance is over ORIGINAL vertices: the lifted tree embeds every
   // original id (a contracted cluster's members at one node), and the DP
   // counts multiplicities per node.
   const std::int32_t n = snap.original_vertices();
   if (n % 2 != 0) {
-    return Status::InvalidArgument("bisection needs an even vertex count");
+    return guard.fail(
+        Status::InvalidArgument("bisection needs an even vertex count"));
   }
   std::vector<cuttree::VertexId> counted(static_cast<std::size_t>(n));
   for (std::int32_t v = 0; v < n; ++v) counted[static_cast<std::size_t>(v)] = v;
@@ -515,23 +660,24 @@ StatusOr<TreeServer::BisectionAnswer> TreeServer::bisection(
   answer.side = result.side;
   answer.tree_cut = result.tree_cut;
   answer.cut = snap.cut_weight(answer.side);
+  guard.ok(answer.cut);
   return answer;
 }
 
 StatusOr<TreeServer::KwayAnswer> TreeServer::kway(std::int32_t k,
                                                   const RunContext& ctx) const {
   obs::TraceSpan span("serve.kway");
-  shared_->queries.fetch_add(1, std::memory_order_relaxed);
-  QueryGuard guard(state(), ctx);
+  QueryObserver guard(*shared_, obs::QueryKind::kKway, ctx);
   if (Status st = guard.admission(); !st.ok()) return st;
   const serve::LoadedSnapshot& snap = *guard.state;
   if (!snap.decomposition.has_value()) {
-    return Status::InvalidArgument("snapshot has no decomposition tree");
+    return guard.fail(
+        Status::InvalidArgument("snapshot has no decomposition tree"));
   }
   const std::int32_t n = snap.original_vertices();
   if (k < 2 || n % k != 0) {
-    return Status::InvalidArgument("kway needs k >= 2 dividing the vertex "
-                                   "count");
+    return guard.fail(Status::InvalidArgument(
+        "kway needs k >= 2 dividing the vertex count"));
   }
   const std::int64_t block = n / k;
   KwayAnswer answer;
@@ -561,6 +707,7 @@ StatusOr<TreeServer::KwayAnswer> TreeServer::kway(std::int32_t k,
   const auto cost = snap.kway_cost(answer.part);
   answer.cut = cost.first;
   answer.connectivity = cost.second;
+  guard.ok(answer.cut);
   return answer;
 }
 
@@ -585,6 +732,7 @@ TreeServer::Info TreeServer::info() const {
       (snap->meta.artifact_flags & snapshot::kGomoryHuComplete) != 0;
   info.queries = shared_->queries.load(std::memory_order_relaxed);
   info.swaps = shared_->swaps.load(std::memory_order_relaxed);
+  info.epoch = epoch();
   return info;
 }
 

@@ -40,6 +40,26 @@ namespace ht {
 
 namespace serve {
 
+/// Serving-layer observability knobs, fixed at open()/from_state() time
+/// and shared by every copy of the handle.
+///
+/// The flight recorder (obs/flight_recorder.hpp) gets one fixed-size
+/// record per query — kind, epoch, deadline headroom, latency, status,
+/// cut value, prep-exactness, thread — appended lock-free after the
+/// answer is produced (~tens of ns; disable per-server only for A/B
+/// overhead measurements). Queries slower than slow_query_ns additionally
+/// record a "serve.slow_query" trace span carrying the same fields as
+/// span args (tracing must be enabled to see them; the span is
+/// timing-dependent by design, unlike the deterministic serve.* spans).
+/// When flight_dump_path is non-empty, any query that finishes non-ok
+/// rewrites that file with the recorder's JSON dump — a post-mortem of
+/// the last `capacity` queries leading up to the error.
+struct ServeOptions {
+  bool flight_recorder = true;
+  std::uint64_t slow_query_ns = 100'000'000;  // 100 ms
+  std::string flight_dump_path;               // "" = no auto-dump
+};
+
 /// One fully validated, immutable serving epoch. The hypergraph CSR is
 /// served zero-copy out of the mapping; the O(n) tree structures are
 /// validated and materialized once at load so every query can run the
@@ -106,6 +126,10 @@ struct LoadedSnapshot {
       const std::vector<std::int32_t>& part) const;
 };
 
+namespace detail {
+struct ServerShared;  // the state TreeServer copies share (tree_server.cpp)
+}  // namespace detail
+
 }  // namespace serve
 
 class TreeServer {
@@ -158,14 +182,17 @@ class TreeServer {
     bool gomory_hu_exact = false;
     std::uint64_t queries = 0;  // served by this handle's shared state
     std::uint64_t swaps = 0;
+    std::uint32_t epoch = 0;  // 1 at open, +1 per successful swap
   };
 
   /// Opens and validates a snapshot; the server is serving on return.
-  static StatusOr<TreeServer> open(const std::string& path);
+  static StatusOr<TreeServer> open(const std::string& path,
+                                   serve::ServeOptions options = {});
 
   /// Serves an already-loaded epoch (tests; in-process builds).
   static TreeServer from_state(
-      std::shared_ptr<const serve::LoadedSnapshot> state);
+      std::shared_ptr<const serve::LoadedSnapshot> state,
+      serve::ServeOptions options = {});
 
   /// Hot-swap: validate `path` off the query path, then atomically
   /// publish it. On failure the current snapshot keeps serving and the
@@ -174,6 +201,12 @@ class TreeServer {
 
   /// The current epoch (pins the mapping for the caller's lifetime).
   std::shared_ptr<const serve::LoadedSnapshot> state() const;
+
+  /// The current epoch number (what flight records of new queries carry).
+  std::uint32_t epoch() const;
+
+  /// The observability knobs this server was opened with.
+  const serve::ServeOptions& options() const;
 
   /// Exact min s-t hyperedge cut via the Gomory–Hu tree walk.
   StatusOr<MinCutAnswer> min_cut(std::int32_t s, std::int32_t t,
@@ -195,11 +228,10 @@ class TreeServer {
   Info info() const;
 
  private:
-  struct Shared;
-  explicit TreeServer(std::shared_ptr<Shared> shared)
+  explicit TreeServer(std::shared_ptr<serve::detail::ServerShared> shared)
       : shared_(std::move(shared)) {}
 
-  std::shared_ptr<Shared> shared_;
+  std::shared_ptr<serve::detail::ServerShared> shared_;
 };
 
 }  // namespace ht

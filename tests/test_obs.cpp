@@ -14,6 +14,8 @@
 #include "graph/generators.hpp"
 #include "gtest/gtest.h"
 #include "obs/atomic_max.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/perf_counters.hpp"
@@ -260,6 +262,222 @@ TEST(Metrics, SnapshotJsonParsesAndSortsNames) {
   ASSERT_NE(pos_zz, std::string::npos);
   EXPECT_LT(pos_aa, pos_zz);  // std::map iteration = sorted names
   EXPECT_NE(json.find("\"test.hist\""), std::string::npos);
+}
+
+TEST(Metrics, HistogramSnapshotQuantiles) {
+  auto& h = ht::obs::MetricsRegistry::global().histogram("test.quantiles");
+  h.reset();
+  const ht::obs::HistogramSnapshot empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p50(), 0.0);
+
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 1024ull}) h.record(v);
+  const ht::obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 1030u);
+  EXPECT_EQ(s.max, 1024u);
+  // p50: target rank 2.5 lands in bucket [2, 3] a quarter of the way in.
+  EXPECT_DOUBLE_EQ(s.p50(), 2.25);
+  // p99 lands in the top occupied bucket, which is clamped to the exact
+  // recorded max instead of the bucket's upper bound 2047.
+  EXPECT_DOUBLE_EQ(s.p99(), 1024.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1024.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+
+  // A lone sample is bounded by its bucket [64, 127] clamped to max=100.
+  h.reset();
+  h.record(100);
+  const ht::obs::HistogramSnapshot one = h.snapshot();
+  EXPECT_GE(one.p50(), 64.0);
+  EXPECT_LE(one.p50(), 100.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 100.0);
+  h.reset();
+}
+
+TEST(Metrics, SnapshotJsonIsVersionedAndEscapesNames) {
+  auto& reg = ht::obs::MetricsRegistry::global();
+  reg.counter("test.esc\"quote\\slash").add(3);
+  const std::string json = reg.snapshot_json();
+  EXPECT_TRUE(json_parses(json)) << json;
+  EXPECT_EQ(json.find("{\"version\":1,"), 0u);
+  // The raw name must never appear unescaped (it would break the JSON).
+  EXPECT_EQ(json.find("test.esc\"quote"), std::string::npos);
+  EXPECT_NE(json.find("test.esc\\\"quote\\\\slash"), std::string::npos);
+}
+
+TEST(Metrics, RegistrySnapshotIsByteStableAcrossRenders) {
+  auto& reg = ht::obs::MetricsRegistry::global();
+  reg.counter("test.stable").add(7);
+  reg.histogram("test.stable.hist").record(12);
+  const std::string a = reg.snapshot_json();
+  const std::string b = ht::obs::registry_json(reg.snapshot());
+  EXPECT_EQ(a, b);  // same values -> byte-identical JSON, diffable in CI
+}
+
+// ---------------------------------------------------------------- exporter
+
+TEST(Export, PrometheusNameSanitization) {
+  EXPECT_EQ(ht::obs::prometheus_name("serve.latency.min_cut"),
+            "ht_serve_latency_min_cut");
+  EXPECT_EQ(ht::obs::prometheus_name("flow.builds"), "ht_flow_builds");
+  EXPECT_EQ(ht::obs::prometheus_name("weird name-1"), "ht_weird_name_1");
+  EXPECT_EQ(ht::obs::prometheus_name("9lives"), "ht__9lives");
+}
+
+TEST(Export, PrometheusTextRendersAllMetricFamilies) {
+  ht::obs::RegistrySnapshot snap;
+  snap.counters["test.prom.count"] = 5;
+  snap.gauges["test.prom.gauge"] = -3;
+  ht::obs::HistogramSnapshot h;
+  h.count = 3;
+  h.sum = 6;
+  h.max = 3;
+  h.buckets[1] = 1;  // {1}
+  h.buckets[2] = 2;  // {2, 3}
+  snap.histograms["test.prom.hist"] = h;
+
+  const std::string text = ht::obs::prometheus_text(snap);
+  EXPECT_NE(text.find("# TYPE ht_test_prom_count counter\n"
+                      "ht_test_prom_count 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ht_test_prom_gauge gauge\n"
+                      "ht_test_prom_gauge -3\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative with an +Inf series plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE ht_test_prom_hist histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ht_test_prom_hist_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ht_test_prom_hist_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ht_test_prom_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ht_test_prom_hist_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("ht_test_prom_hist_count 3\n"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Export, JsonEscapeControlCharacters) {
+  EXPECT_EQ(ht::obs::json_escape("plain"), "plain");
+  EXPECT_EQ(ht::obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(ht::obs::json_escape("x\n\t\r"), "x\\n\\t\\r");
+  EXPECT_EQ(ht::obs::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+// ---------------------------------------------------------- flight recorder
+
+ht::obs::FlightRecord make_record(ht::obs::QueryKind kind, double cut) {
+  ht::obs::FlightRecord r;
+  r.start_ns = 1000;
+  r.latency_ns = 250;
+  r.cut_value = cut;
+  r.deadline_ns = 5000000;
+  r.epoch = 3;
+  r.thread = 1;
+  r.kind = kind;
+  r.status_code = 2;  // kDeadlineExceeded's numeric value
+  r.prep_exact = true;
+  return r;
+}
+
+TEST(Flight, AppendDumpRoundtripPreservesEveryField) {
+  ht::obs::FlightRecorder rec(16);
+  rec.append(make_record(ht::obs::QueryKind::kBisection, 42.5));
+  rec.append(make_record(ht::obs::QueryKind::kMinCut, -1.25));
+  const auto records = rec.dump();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 0u);
+  EXPECT_EQ(records[1].seq, 1u);
+  EXPECT_EQ(records[0].kind, ht::obs::QueryKind::kBisection);
+  EXPECT_EQ(records[1].kind, ht::obs::QueryKind::kMinCut);
+  EXPECT_DOUBLE_EQ(records[0].cut_value, 42.5);
+  EXPECT_DOUBLE_EQ(records[1].cut_value, -1.25);
+  EXPECT_EQ(records[0].start_ns, 1000);
+  EXPECT_EQ(records[0].latency_ns, 250u);
+  EXPECT_EQ(records[0].deadline_ns, 5000000);
+  EXPECT_EQ(records[0].epoch, 3u);
+  EXPECT_EQ(records[0].thread, 1u);
+  EXPECT_EQ(records[0].status_code, 2u);
+  EXPECT_TRUE(records[0].prep_exact);
+  EXPECT_EQ(rec.recorded(), 2u);
+}
+
+TEST(Flight, WrapKeepsTheNewestCapacityRecords) {
+  ht::obs::FlightRecorder rec(8);
+  EXPECT_EQ(rec.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    auto r = make_record(ht::obs::QueryKind::kKway, static_cast<double>(i));
+    rec.append(r);
+  }
+  const auto records = rec.dump();
+  ASSERT_EQ(records.size(), 8u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, 12 + i);  // oldest-first, newest 8 of 20
+    EXPECT_DOUBLE_EQ(records[i].cut_value, static_cast<double>(12 + i));
+  }
+  EXPECT_EQ(rec.recorded(), 20u);
+}
+
+TEST(Flight, DisabledRecorderAppendsNothing) {
+  ht::obs::FlightRecorder rec(8);
+  rec.set_enabled(false);
+  rec.append(make_record(ht::obs::QueryKind::kMinCut, 1.0));
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.dump().empty());
+  rec.set_enabled(true);
+  rec.append(make_record(ht::obs::QueryKind::kMinCut, 1.0));
+  EXPECT_EQ(rec.dump().size(), 1u);
+}
+
+TEST(Flight, DumpJsonIsVersionedAndParses) {
+  ht::obs::FlightRecorder rec(8);
+  rec.append(make_record(ht::obs::QueryKind::kSetCut, 7.0));
+  const std::string json = rec.dump_json();
+  EXPECT_TRUE(json_parses(json)) << json;
+  EXPECT_EQ(json.find("{\"version\":1,"), 0u);
+  EXPECT_NE(json.find("\"kind\":\"set_cut\""), std::string::npos);
+  EXPECT_NE(json.find("\"records\":["), std::string::npos);
+}
+
+TEST(Flight, ConcurrentAppendersAndDumpersStayWellFormed) {
+  // Dumps run against live appenders: every record read must be coherent
+  // (a valid kind and the cut value matching the seq its writer packed),
+  // and seqs must come out strictly increasing. Torn slots may be skipped
+  // but never invented.
+  ht::obs::FlightRecorder rec(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&rec, &stop] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ht::obs::FlightRecord r;
+        r.kind = ht::obs::QueryKind::kMinCut;
+        r.latency_ns = ++i;
+        rec.append(r);
+      }
+    });
+  }
+  // On a single core the writers may not be scheduled yet; make sure the
+  // dumps actually race live appends.
+  while (rec.recorded() == 0) std::this_thread::yield();
+  for (int round = 0; round < 200; ++round) {
+    const auto records = rec.dump();
+    std::uint64_t last_seq = 0;
+    bool first = true;
+    for (const auto& r : records) {
+      if (!first) {
+        EXPECT_GT(r.seq, last_seq);
+      }
+      first = false;
+      last_seq = r.seq;
+      EXPECT_EQ(r.kind, ht::obs::QueryKind::kMinCut);
+    }
+    EXPECT_LE(records.size(), rec.capacity());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+  EXPECT_GT(rec.recorded(), 0u);
 }
 
 TEST(Metrics, PerfCountersAreRegistryBacked) {

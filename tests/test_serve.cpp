@@ -7,6 +7,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,10 +16,15 @@
 #include "flow/hypergraph_gomory_hu.hpp"
 #include "hypergraph/generators.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/snapshot_build.hpp"
 #include "serve/tree_server.hpp"
 #include "util/mmap_file.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -158,6 +165,148 @@ TEST(TreeServer, ExpiredDeadlineIsAStatusNotAnAnswer) {
   std::remove(path.c_str());
 }
 
+TEST(TreeServer, QueriesRecordPerKindLatencyAndFlightRecords) {
+  const auto h = make_instance(25);
+  const std::string path = write_snapshot(h, "serve_obs.htsnap");
+  auto server = ht::TreeServer::open(path);
+  ASSERT_TRUE(server.ok());
+  auto& reg = ht::obs::MetricsRegistry::global();
+  // Deltas, not absolute values: the registry is process-global and other
+  // tests in this binary also serve queries.
+  const std::uint64_t queries0 = reg.counter("serve.queries").value();
+  const std::uint64_t minc0 =
+      reg.histogram("serve.latency.min_cut").count();
+  const std::uint64_t setc0 =
+      reg.histogram("serve.latency.set_cut").count();
+  const std::uint64_t bisect0 =
+      reg.histogram("serve.latency.bisection").count();
+  const std::uint64_t kway0 = reg.histogram("serve.latency.kway").count();
+  const std::uint64_t flight0 =
+      ht::obs::FlightRecorder::global().recorded();
+
+  EXPECT_TRUE(server->min_cut(0, 1).ok());
+  EXPECT_TRUE(server->min_cut(2, 3).ok());
+  EXPECT_TRUE(server->set_cut({0, 1}, {14, 15}).ok());
+  EXPECT_TRUE(server->bisection().ok());
+  EXPECT_TRUE(server->kway(4).ok());
+  EXPECT_FALSE(server->min_cut(0, 0).ok());  // errors are recorded too
+
+  EXPECT_EQ(reg.counter("serve.queries").value() - queries0, 6u);
+  EXPECT_EQ(reg.histogram("serve.latency.min_cut").count() - minc0, 3u);
+  EXPECT_EQ(reg.histogram("serve.latency.set_cut").count() - setc0, 1u);
+  EXPECT_EQ(reg.histogram("serve.latency.bisection").count() - bisect0, 1u);
+  EXPECT_EQ(reg.histogram("serve.latency.kway").count() - kway0, 1u);
+  EXPECT_EQ(ht::obs::FlightRecorder::global().recorded() - flight0, 6u);
+  std::remove(path.c_str());
+}
+
+TEST(TreeServer, FlightRecorderOptOutSkipsAppends) {
+  const auto h = make_instance(21);
+  const std::string path = write_snapshot(h, "serve_noflight.htsnap");
+  ht::serve::ServeOptions options;
+  options.flight_recorder = false;
+  auto server = ht::TreeServer::open(path, options);
+  ASSERT_TRUE(server.ok());
+  const std::uint64_t flight0 =
+      ht::obs::FlightRecorder::global().recorded();
+  EXPECT_TRUE(server->min_cut(0, 1).ok());
+  EXPECT_FALSE(server->min_cut(0, 0).ok());
+  EXPECT_EQ(ht::obs::FlightRecorder::global().recorded(), flight0);
+  // Metrics still record — only the flight recorder is opted out.
+  EXPECT_FALSE(server->options().flight_recorder);
+  std::remove(path.c_str());
+}
+
+TEST(TreeServer, DeadlineExpiryCountsSeparatelyFromQueryErrors) {
+  const auto h = make_instance(22);
+  const std::string path = write_snapshot(h, "serve_deadcnt.htsnap");
+  auto server = ht::TreeServer::open(path);
+  ASSERT_TRUE(server.ok());
+  auto& reg = ht::obs::MetricsRegistry::global();
+  const std::uint64_t expired0 =
+      reg.counter("serve.deadline_expired").value();
+  const std::uint64_t errors0 = reg.counter("serve.query_errors").value();
+
+  ht::RunContext ctx;
+  ctx.deadline = ht::RunContext::Clock::now() - std::chrono::seconds(1);
+  ASSERT_EQ(server->bisection(ctx).status().code(),
+            ht::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(reg.counter("serve.deadline_expired").value() - expired0, 1u);
+  EXPECT_EQ(reg.counter("serve.query_errors").value(), errors0);
+
+  // A plain invalid-argument error goes to query_errors, not expiry.
+  ASSERT_FALSE(server->min_cut(0, 0).ok());
+  EXPECT_EQ(reg.counter("serve.deadline_expired").value() - expired0, 1u);
+  EXPECT_EQ(reg.counter("serve.query_errors").value() - errors0, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TreeServer, SlowQueryThresholdEmitsSpanAndCounter) {
+  const auto h = make_instance(23);
+  const std::string path = write_snapshot(h, "serve_slow.htsnap");
+  ht::serve::ServeOptions options;
+  options.slow_query_ns = 0;  // every query is "slow"
+  auto server = ht::TreeServer::open(path, options);
+  ASSERT_TRUE(server.ok());
+  auto& reg = ht::obs::MetricsRegistry::global();
+  const std::uint64_t slow0 = reg.counter("serve.slow_queries").value();
+
+  const bool was_tracing = ht::obs::tracing_enabled();
+  ht::ThreadPool::global().wait_idle();
+  ht::obs::Tracer::global().clear();
+  ht::obs::set_tracing_enabled(true);
+  EXPECT_TRUE(server->min_cut(0, 1).ok());
+  ht::ThreadPool::global().wait_idle();
+  ht::obs::set_tracing_enabled(was_tracing);
+
+  EXPECT_EQ(reg.counter("serve.slow_queries").value() - slow0, 1u);
+  bool saw_slow_span = false;
+  for (const auto& event : ht::obs::Tracer::global().collect()) {
+    if (std::string(event.name) != "serve.slow_query") continue;
+    saw_slow_span = true;
+    bool saw_kind = false, saw_latency = false;
+    for (const auto& arg : event.args) {
+      if (std::string(arg.key) == "kind") {
+        saw_kind = true;
+        EXPECT_EQ(arg.string_value, "min_cut");
+      }
+      if (std::string(arg.key) == "latency_ns") saw_latency = true;
+    }
+    EXPECT_TRUE(saw_kind);
+    EXPECT_TRUE(saw_latency);
+  }
+  EXPECT_TRUE(saw_slow_span);
+  ht::obs::Tracer::global().clear();
+  std::remove(path.c_str());
+}
+
+TEST(TreeServer, FailedQueryAutoDumpsFlightRecords) {
+  const auto h = make_instance(24);
+  const std::string path = write_snapshot(h, "serve_dump.htsnap");
+  const std::string dump_path = testing::TempDir() + "serve_dump.json";
+  std::remove(dump_path.c_str());
+  ht::serve::ServeOptions options;
+  options.flight_dump_path = dump_path;
+  auto server = ht::TreeServer::open(path, options);
+  ASSERT_TRUE(server.ok());
+
+  // Success: no dump file appears.
+  EXPECT_TRUE(server->min_cut(0, 1).ok());
+  EXPECT_FALSE(std::ifstream(dump_path).good());
+  // Failure: the recorder state is dumped for postmortem.
+  EXPECT_FALSE(server->min_cut(0, 0).ok());
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_EQ(json.find("{\"version\":1,"), 0u);
+  EXPECT_NE(json.find("\"records\":["), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"min_cut\""), std::string::npos);
+  std::remove(dump_path.c_str());
+  std::remove(path.c_str());
+}
+
 TEST(TreeServer, FailedSwapKeepsServing) {
   const auto h = make_instance(8);
   const std::string path = write_snapshot(h, "serve_failswap.htsnap");
@@ -212,8 +361,10 @@ TEST(TreeServer, SwapStormUnderConcurrentQueriesDropsNothingAndLeaksNothing) {
     constexpr int kQueryThreads = 4;
     constexpr int kQueriesPerThread = 200;
     std::atomic<bool> go{false};
+    std::atomic<bool> stop_observer{false};
     std::atomic<std::int64_t> answered{0};
     std::atomic<std::int64_t> failed{0};
+    std::atomic<std::int64_t> exports{0};
     std::vector<std::thread> workers;
     workers.reserve(kQueryThreads);
     for (int w = 0; w < kQueryThreads; ++w) {
@@ -239,18 +390,60 @@ TEST(TreeServer, SwapStormUnderConcurrentQueriesDropsNothingAndLeaksNothing) {
       });
     }
 
+    // An observer thread exercises the whole read-side observability
+    // surface concurrently with the storm: flight-recorder dumps (seqlock
+    // reads racing live appends) and registry exports (snapshot under the
+    // registration lock racing relaxed metric updates). Everything it
+    // reads must stay well-formed. Runs under the tsan-serve CI job.
+    std::thread observer([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      while (!stop_observer.load(std::memory_order_acquire)) {
+        const std::string flight =
+            ht::obs::FlightRecorder::global().dump_json();
+        EXPECT_EQ(flight.find("{\"version\":1,"), 0u);
+        const std::string metrics =
+            ht::obs::MetricsRegistry::global().snapshot_json();
+        EXPECT_EQ(metrics.find("{\"version\":1,"), 0u);
+        const std::string prom = ht::obs::prometheus_text(
+            ht::obs::MetricsRegistry::global().snapshot());
+        EXPECT_NE(prom.find("# TYPE ht_serve_queries counter\n"),
+                  std::string::npos);
+        exports.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+    // Trace the storm so the post-join export covers spans closed across
+    // swaps (collect() itself needs quiescence, hence after the joins).
+    const bool was_tracing = ht::obs::tracing_enabled();
+    ht::ThreadPool::global().wait_idle();
+    ht::obs::Tracer::global().clear();
+    ht::obs::set_tracing_enabled(true);
+
     go.store(true, std::memory_order_release);
     // Swap back and forth while the workers hammer the query path.
     for (int swap = 0; swap < 50; ++swap) {
       ASSERT_TRUE(server->swap(swap % 2 == 0 ? path2 : path1).ok());
     }
     for (auto& worker : workers) worker.join();
+    stop_observer.store(true, std::memory_order_release);
+    observer.join();
+    ht::ThreadPool::global().wait_idle();
+    ht::obs::set_tracing_enabled(was_tracing);
 
     // No query may be dropped by a swap: every single one got an answer.
     EXPECT_EQ(answered.load(),
               static_cast<std::int64_t>(kQueryThreads) * kQueriesPerThread);
     EXPECT_EQ(failed.load(), 0);
+    EXPECT_GT(exports.load(), 0);
     EXPECT_EQ(server->info().swaps, 50u);
+    EXPECT_EQ(server->epoch(), 51u);  // open = 1, +1 per swap
+
+    // Quiescent now: the trace export must parse and contain the serve
+    // spans recorded during the storm.
+    const std::string trace = ht::obs::Tracer::global().chrome_trace_json();
+    EXPECT_NE(trace.find("\"serve.min_cut\""), std::string::npos);
+    ht::obs::Tracer::global().clear();
   }
   // Server destroyed: every epoch's mapping must be gone.
   EXPECT_EQ(ht::mapped_bytes_now(), mapped_before);

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Gate a fresh BENCH_serve.json against the checked-in baseline.
+
+Usage:
+    bench_diff.py CURRENT [BASELINE]
+
+BASELINE defaults to bench/baselines/BENCH_serve_baseline.json relative
+to the repository root (this script's parent directory's parent).
+
+Two tiers, because CI runners are noisy but not arbitrarily noisy:
+
+  soft (``::warning``, exit 0)   p99 > 2x baseline, qps < 0.5x baseline,
+                                 flight-recorder overhead >= 2%
+  hard (``::error``, exit 1)     p99 > 4x baseline, qps < 0.2x baseline,
+                                 hot_swap.dropped != 0, or the per-kind
+                                 latency_hist quantiles missing/zero
+
+The hard structural checks (dropped queries, quantiles present and
+positive) never depend on runner speed, so they gate unconditionally;
+the 4x/0.2x timing walls only catch order-of-magnitude regressions that
+no runner jitter explains. Baselines are refreshed deliberately,
+in-review, by copying a fresh build/BENCH_serve.json over the file in
+bench/baselines/.
+"""
+
+import json
+import pathlib
+import sys
+
+# Measured query sections and the latency_hist key each one feeds
+# (the kway section runs k=4, the histogram is keyed by query kind).
+SECTIONS = {
+    "min_cut": "min_cut",
+    "set_cut": "set_cut",
+    "bisection": "bisection",
+    "kway4": "kway",
+}
+
+P99_WARN, P99_FAIL = 2.0, 4.0  # x baseline
+QPS_WARN, QPS_FAIL = 0.5, 0.2  # x baseline
+OVERHEAD_WARN_PCT = 2.0
+
+failures = []
+
+
+def warn(title: str, line: str) -> None:
+    print(f"::warning title={title}::{line}")
+
+
+def fail(title: str, line: str) -> None:
+    failures.append(line)
+    print(f"::error title={title}::{line}")
+
+
+def diff(current: dict, baseline: dict) -> None:
+    for section, hist_key in SECTIONS.items():
+        now, then = current[section], baseline[section]
+
+        p99_now, p99_then = now["p99_us"], then["p99_us"]
+        line = f"{section}: p99 {p99_now:.3f}us vs baseline {p99_then:.3f}us"
+        if p99_now > P99_FAIL * p99_then:
+            fail("serve p99 regression", f"{line} (> {P99_FAIL:.0f}x, hard)")
+        elif p99_now > P99_WARN * p99_then:
+            warn("serve p99 regression", f"{line} (> {P99_WARN:.0f}x, soft)")
+        else:
+            print(line + " (OK)")
+
+        qps_now, qps_then = now["qps"], then["qps"]
+        line = f"{section}: qps {qps_now:.0f} vs baseline {qps_then:.0f}"
+        if qps_now < QPS_FAIL * qps_then:
+            fail("serve qps regression", f"{line} (< {QPS_FAIL}x, hard)")
+        elif qps_now < QPS_WARN * qps_then:
+            warn("serve qps regression", f"{line} (< {QPS_WARN}x, soft)")
+        else:
+            print(line + " (OK)")
+
+        # The per-kind SLO quantiles must be present and meaningful: a
+        # zero p50/p99 with queries recorded means the histogram wiring
+        # broke, which no amount of runner noise explains.
+        hist = current.get("latency_hist", {}).get(hist_key)
+        if hist is None:
+            fail("latency_hist missing",
+                 f"latency_hist[{hist_key!r}] absent from BENCH_serve.json")
+            continue
+        line = (f"{section}: hist count={hist['count']} "
+                f"p50={hist['p50_us']:.3f}us p99={hist['p99_us']:.3f}us")
+        if hist["count"] <= 0 or hist["p50_us"] <= 0 or hist["p99_us"] <= 0:
+            fail("latency_hist empty", f"{line} (quantiles not recorded)")
+        else:
+            print(line + " (OK)")
+
+    dropped = current["hot_swap"]["dropped"]
+    if dropped != 0:
+        fail("hot-swap drops",
+             f"hot_swap dropped {dropped} queries (must be 0)")
+    else:
+        print(f"hot_swap: {current['hot_swap']['answered']} answered, "
+              "0 dropped (OK)")
+
+    recorder = current.get("flight_recorder")
+    if recorder is None:
+        fail("flight recorder missing",
+             "flight_recorder section absent from BENCH_serve.json")
+    else:
+        pct = recorder["overhead_pct"]
+        line = (f"flight recorder: {recorder['append_ns']:.2f} ns/append, "
+                f"{pct:+.2f}% qps overhead")
+        if pct >= OVERHEAD_WARN_PCT:
+            warn("flight recorder overhead",
+                 f"{line} (>= {OVERHEAD_WARN_PCT}% soft gate)")
+        else:
+            print(line + " (OK)")
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current_path = pathlib.Path(argv[1])
+    baseline_path = (
+        pathlib.Path(argv[2]) if len(argv) == 3 else
+        pathlib.Path(__file__).resolve().parent.parent
+        / "bench" / "baselines" / "BENCH_serve_baseline.json")
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    diff(current, baseline)
+    if failures:
+        print(f"\n{len(failures)} hard failure(s):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nbench_diff: all hard gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
